@@ -1,0 +1,121 @@
+package main
+
+import (
+	"fmt"
+
+	"quicksel/internal/experiments"
+)
+
+// dispatch runs one named experiment and returns its rendered output.
+func dispatch(name, dataset string, rows, maxN int, seed int64) (string, error) {
+	var ns []int
+	if maxN > 0 {
+		for n := 10; n <= maxN; n += 10 {
+			ns = append(ns, n)
+		}
+	}
+	switch name {
+	case "table3":
+		res, err := experiments.RunTable3(experiments.Table3Config{Rows: rows, Seed: seed})
+		if err != nil {
+			return "", err
+		}
+		return res.String(), nil
+	case "fig3", "fig4":
+		// Figures 3 and 4 render from the same sweep; fig4 additionally
+		// includes the fixed-parameter effectiveness series (Fig 4b/4d).
+		res, err := experiments.RunSweep(experiments.SweepConfig{
+			Dataset: dataset, Rows: rows, Ns: ns, Seed: seed,
+		})
+		if err != nil {
+			return "", err
+		}
+		out := res.String()
+		if name == "fig4" {
+			eff, err := experiments.RunFigure7c(experiments.Figure7cConfig{Rows: rows, Seed: seed})
+			if err != nil {
+				return "", err
+			}
+			out += "\nFig 4b/4d companion — error vs fixed parameter budget (QuickSel)\n" + eff.String()
+		}
+		return out, nil
+	case "fig5":
+		res, err := experiments.RunFigure5(experiments.Figure5Config{InitialRows: rows, Seed: seed})
+		if err != nil {
+			return "", err
+		}
+		scaling, err := experiments.RunFigure5bScaling(nil, seed)
+		if err != nil {
+			return "", err
+		}
+		return res.String() + "\n" + scaling.String(), nil
+	case "fig6":
+		res, err := experiments.RunFigure6(experiments.Figure6Config{Ns: ns, Seed: seed})
+		if err != nil {
+			return "", err
+		}
+		return res.String(), nil
+	case "fig7a":
+		res, err := experiments.RunFigure7a(experiments.Figure7aConfig{Rows: rows, Seed: seed})
+		if err != nil {
+			return "", err
+		}
+		return res.String(), nil
+	case "fig7b":
+		res, err := experiments.RunFigure7b(experiments.Figure7bConfig{Rows: rows, MaxN: maxN, Seed: seed})
+		if err != nil {
+			return "", err
+		}
+		return res.String(), nil
+	case "fig7c":
+		res, err := experiments.RunFigure7c(experiments.Figure7cConfig{Rows: rows, Seed: seed})
+		if err != nil {
+			return "", err
+		}
+		return res.String(), nil
+	case "fig7d":
+		res, err := experiments.RunFigure7d(experiments.Figure7dConfig{Rows: rows, Seed: seed})
+		if err != nil {
+			return "", err
+		}
+		return res.String(), nil
+	case "abllambda":
+		res, err := experiments.RunAblationLambda(seed)
+		if err != nil {
+			return "", err
+		}
+		return res.String(), nil
+	case "ablpoints":
+		res, err := experiments.RunAblationPoints(seed)
+		if err != nil {
+			return "", err
+		}
+		return res.String(), nil
+	case "ablsolver":
+		res, err := experiments.RunAblationSolver(seed)
+		if err != nil {
+			return "", err
+		}
+		return res.String(), nil
+	case "ablcap":
+		res, err := experiments.RunAblationCap(seed)
+		if err != nil {
+			return "", err
+		}
+		return res.String(), nil
+	case "ablscaling":
+		res, err := experiments.RunAblationScaling(seed)
+		if err != nil {
+			return "", err
+		}
+		return res.String(), nil
+	case "ablmixture":
+		res, err := experiments.RunAblationMixture(seed)
+		if err != nil {
+			return "", err
+		}
+		return res.String(), nil
+	default:
+		return "", fmt.Errorf("unknown experiment %q", name)
+	}
+}

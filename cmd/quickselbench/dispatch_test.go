@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDispatchUnknownExperiment(t *testing.T) {
+	if _, err := dispatch("nope", "dmv", 0, 0, 1); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestDispatchCheapExperiments(t *testing.T) {
+	// Only the fast drivers, at reduced scale, so `go test ./cmd/...` stays
+	// quick; the full-size runs are exercised by bench_test.go and the CLI.
+	cases := []struct {
+		name     string
+		rows     int
+		contains string
+	}{
+		{"fig7c", 3000, "Figure 7c"},
+		{"abllambda", 0, "lambda"},
+		{"ablscaling", 0, "iterative scaling"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := dispatch(tc.name, "gaussian", tc.rows, 0, 3)
+			if err != nil {
+				t.Fatalf("dispatch(%s): %v", tc.name, err)
+			}
+			if !strings.Contains(out, tc.contains) {
+				t.Errorf("output of %s lacks %q:\n%s", tc.name, tc.contains, out)
+			}
+		})
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("expected error for missing experiment")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+	if err := run([]string{"fig7c", "-badflag"}); err == nil {
+		t.Error("expected flag parse error")
+	}
+}
+
+func TestRunExecutesExperiment(t *testing.T) {
+	if err := run([]string{"ablpoints", "-seed", "5"}); err != nil {
+		t.Fatalf("run(ablpoints): %v", err)
+	}
+}

@@ -1,0 +1,82 @@
+// Command quickselbench regenerates the tables and figures of the QuickSel
+// paper's evaluation (§5) from the command line and prints the same
+// rows/series the paper reports.
+//
+// Usage:
+//
+//	quickselbench <experiment> [flags]
+//
+// Experiments:
+//
+//	table3       Table 3a+3b (ISOMER vs QuickSel, DMV + Instacart)
+//	fig3         Figures 3a-3f (sweep over observed queries; use -dataset)
+//	fig4         Figures 4a-4d (parameter growth and effectiveness)
+//	fig5         Figure 5 (data drift vs scan-based methods)
+//	fig6         Figure 6 (standard QP vs analytic QP)
+//	fig7a        Figure 7a (data correlation)
+//	fig7b        Figure 7b (workload shifts)
+//	fig7c        Figure 7c (model parameter count)
+//	fig7d        Figure 7d (data dimension)
+//	abllambda    Ablation: penalty weight λ
+//	ablpoints    Ablation: points per predicate
+//	ablsolver    Ablation: analytic vs iterative solver
+//	ablcap       Ablation: subpopulation cap
+//	ablscaling   Ablation: published vs optimized iterative scaling
+//	ablmixture   Ablation: uniform vs Gaussian mixture model
+//	all          run everything above in order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "quickselbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("quickselbench", flag.ContinueOnError)
+	dataset := fs.String("dataset", "dmv", "dataset for fig3/fig4: dmv, instacart, or gaussian")
+	rows := fs.Int("rows", 0, "dataset rows (0 = experiment default)")
+	seed := fs.Int64("seed", 1, "base random seed")
+	maxN := fs.Int("maxn", 0, "largest observed-query count for sweeps (0 = default)")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: quickselbench <experiment> [flags]")
+		fmt.Fprintln(fs.Output(), "experiments: table3 fig3 fig4 fig5 fig6 fig7a fig7b fig7c fig7d")
+		fmt.Fprintln(fs.Output(), "             abllambda ablpoints ablsolver ablcap ablscaling ablmixture all")
+		fs.PrintDefaults()
+	}
+	if len(args) == 0 {
+		fs.Usage()
+		return fmt.Errorf("missing experiment name")
+	}
+	name := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+
+	names := []string{name}
+	if name == "all" {
+		names = []string{
+			"table3", "fig3", "fig4", "fig5", "fig6",
+			"fig7a", "fig7b", "fig7c", "fig7d",
+			"abllambda", "ablpoints", "ablsolver", "ablcap", "ablscaling", "ablmixture",
+		}
+	}
+	for _, n := range names {
+		start := time.Now()
+		out, err := dispatch(n, *dataset, *rows, *maxN, *seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", n, err)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s completed in %.1fs]\n\n", n, time.Since(start).Seconds())
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+// Package quicksel is a Go implementation of QuickSel, the query-driven
+// selectivity-learning framework of Park, Zhong, and Mozafari (SIGMOD 2020).
+//
+// QuickSel estimates the selectivity of query predicates — the fraction of a
+// table's rows a predicate selects — without scanning the data. Instead it
+// learns from observed queries: every time the database executes a query,
+// the actual selectivity is fed back into the model, which refines itself in
+// milliseconds and produces increasingly accurate estimates over time.
+//
+// Internally the model is a uniform mixture model: a weighted sum of uniform
+// distributions over hyperrectangular subpopulations. Training minimizes the
+// L2 distance between the model and a uniform distribution subject to
+// consistency with the observed selectivities, which reduces to a quadratic
+// program with a closed-form solution (one symmetric positive-definite
+// solve). See DESIGN.md for the full reproduction inventory.
+//
+// # Quick start
+//
+//	schema, _ := quicksel.NewSchema(
+//		quicksel.Column{Name: "age", Kind: quicksel.Integer, Min: 0, Max: 120},
+//		quicksel.Column{Name: "salary", Kind: quicksel.Real, Min: 0, Max: 500000},
+//	)
+//	est, _ := quicksel.New(schema)
+//
+//	// Feed back actual selectivities as queries execute.
+//	pred := quicksel.And(
+//		quicksel.Range(0, 30, 40),        // 30 <= age < 40
+//		quicksel.AtLeast(1, 100000),      // salary >= 100k
+//	)
+//	_ = est.Observe(pred, 0.121)          // the query selected 12.1% of rows
+//
+//	// Ask for estimates for new predicates.
+//	sel, _ := est.Estimate(quicksel.Range(0, 20, 65))
+//
+// The estimator is safe for concurrent use.
+package quicksel

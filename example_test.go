@@ -1,0 +1,50 @@
+package quicksel_test
+
+import (
+	"fmt"
+
+	"quicksel"
+)
+
+// ExampleEstimator shows the core learn-then-estimate loop.
+func ExampleEstimator() {
+	schema, _ := quicksel.NewSchema(
+		quicksel.Column{Name: "age", Kind: quicksel.Integer, Min: 0, Max: 100},
+	)
+	est, _ := quicksel.New(schema, quicksel.WithSeed(1))
+
+	// The executor reports that "age < 50" selected 80% of rows.
+	_ = est.Observe(quicksel.AtMost(0, 50), 0.8)
+
+	sel, _ := est.Estimate(quicksel.AtLeast(0, 50))
+	fmt.Printf("age >= 50 selects about %.0f%%\n", sel*100)
+	// Output: age >= 50 selects about 20%
+}
+
+// ExampleParse shows text predicates.
+func ExampleParse() {
+	schema, _ := quicksel.NewSchema(
+		quicksel.Column{Name: "age", Kind: quicksel.Integer, Min: 0, Max: 100},
+		quicksel.Column{Name: "state", Kind: quicksel.Categorical, Min: 0, Max: 49},
+	)
+	p, err := quicksel.Parse(schema, "age BETWEEN 30 AND 39 AND state IN (3, 7)")
+	if err != nil {
+		fmt.Println("parse failed:", err)
+		return
+	}
+	fmt.Println(p != nil)
+	// Output: true
+}
+
+// ExampleEstimator_ObserveWhere shows the text-feedback workflow a DBMS
+// integration would use.
+func ExampleEstimator_ObserveWhere() {
+	schema, _ := quicksel.NewSchema(
+		quicksel.Column{Name: "price", Kind: quicksel.Real, Min: 0, Max: 1000},
+	)
+	est, _ := quicksel.New(schema, quicksel.WithSeed(2))
+	_ = est.ObserveWhere("price < 100", 0.65)
+	sel, _ := est.EstimateWhere("price >= 100")
+	fmt.Printf("price >= 100 selects about %.0f%%\n", sel*100)
+	// Output: price >= 100 selects about 35%
+}

@@ -1,0 +1,78 @@
+// Quickstart: the smallest useful QuickSel program.
+//
+// A table of people has two columns, age and salary. As queries execute,
+// the database learns each predicate's true selectivity and feeds it back;
+// QuickSel refines its model and answers selectivity estimates for new
+// predicates in microseconds — no table scans, no histograms.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"quicksel"
+)
+
+func main() {
+	schema, err := quicksel.NewSchema(
+		quicksel.Column{Name: "age", Kind: quicksel.Integer, Min: 18, Max: 90},
+		quicksel.Column{Name: "salary", Kind: quicksel.Real, Min: 0, Max: 300_000},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := quicksel.New(schema, quicksel.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Feed back actual selectivities observed while executing queries.
+	// (In a real system these come from the executor's row counts.)
+	observations := []struct {
+		pred *quicksel.Predicate
+		sel  float64
+	}{
+		{quicksel.Range(0, 18, 30), 0.22},    // 18 <= age < 30
+		{quicksel.Range(0, 30, 50), 0.41},    // 30 <= age < 50
+		{quicksel.AtLeast(1, 100_000), 0.18}, // salary >= 100k
+		{quicksel.And(quicksel.Range(0, 30, 50), quicksel.AtLeast(1, 100_000)), 0.12},
+		{quicksel.AtMost(1, 40_000), 0.35}, // salary < 40k
+	}
+	for _, o := range observations {
+		if err := est.Observe(o.pred, o.sel); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Ask for estimates for predicates the model has never seen.
+	queries := []struct {
+		name string
+		pred *quicksel.Predicate
+	}{
+		{"age in [25,45)", quicksel.Range(0, 25, 45)},
+		{"age >= 50", quicksel.AtLeast(0, 50)},
+		{"high earners under 30", quicksel.And(quicksel.Range(0, 18, 30), quicksel.AtLeast(1, 100_000))},
+		{"low OR high salary", quicksel.Or(quicksel.AtMost(1, 40_000), quicksel.AtLeast(1, 150_000))},
+		{"NOT middle-aged", quicksel.Not(quicksel.Range(0, 35, 55))},
+	}
+	fmt.Printf("model: %d observed queries, %d parameters after training\n\n",
+		est.NumObserved(), paramCountAfterTraining(est))
+	for _, q := range queries {
+		sel, err := est.Estimate(q.pred)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s -> estimated selectivity %5.1f%%\n", q.name, sel*100)
+	}
+}
+
+func paramCountAfterTraining(est *quicksel.Estimator) int {
+	if err := est.Train(); err != nil {
+		log.Fatal(err)
+	}
+	return est.ParamCount()
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quicksel/internal/geom"
+	"quicksel/internal/stats"
+	"quicksel/internal/workload"
+)
+
+func TestGaussianModelUniformPrior(t *testing.T) {
+	g, err := NewGaussianModel(Config{Dim: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Estimate(geom.NewBox([]float64{0, 0}, []float64{0.5, 0.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("prior estimate = %g, want 0.25", got)
+	}
+}
+
+func TestGaussianModelReproducesObservations(t *testing.T) {
+	g, err := NewGaussianModel(Config{Dim: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := []struct {
+		box geom.Box
+		sel float64
+	}{
+		{geom.NewBox([]float64{0, 0}, []float64{0.5, 1}), 0.7},
+		{geom.NewBox([]float64{0.5, 0}, []float64{1, 1}), 0.3},
+		{geom.NewBox([]float64{0, 0}, []float64{1, 0.5}), 0.5},
+	}
+	for _, o := range obs {
+		if err := g.Observe(o.box, o.sel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Train(); err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range obs {
+		got, err := g.Estimate(o.box)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-o.sel) > 0.05 {
+			t.Errorf("query %d: estimate %g, want ≈%g", i, got, o.sel)
+		}
+	}
+	whole, err := g.Estimate(geom.Unit(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(whole-1) > 0.05 {
+		t.Errorf("estimate of B0 = %g, want ≈1", whole)
+	}
+	if g.ParamCount() != 4*g.NumObserved() {
+		t.Errorf("ParamCount = %d, want %d", g.ParamCount(), 4*g.NumObserved())
+	}
+}
+
+func TestGaussianModelValidation(t *testing.T) {
+	if _, err := NewGaussianModel(Config{Dim: 0}); err == nil {
+		t.Error("expected error for Dim 0")
+	}
+	g, err := NewGaussianModel(Config{Dim: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Observe(geom.Unit(3), 0.5); err == nil {
+		t.Error("expected dim mismatch")
+	}
+	if _, err := g.Estimate(geom.Unit(3)); err == nil {
+		t.Error("expected dim mismatch")
+	}
+}
+
+// TestGaussianVsUniformOnWorkload checks both variants learn the same
+// workload to comparable accuracy — the premise behind the paper's claim
+// that the choice is about training cost, not expressiveness.
+func TestGaussianVsUniformOnWorkload(t *testing.T) {
+	ds, err := workload.NewGaussian(workload.GaussianConfig{Dim: 2, Corr: 0.5, Rows: 15000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := workload.Observe(ds, workload.GaussianQueries(ds.Schema, 80, workload.RandomShift, 5))
+	test := workload.Observe(ds, workload.GaussianQueries(ds.Schema, 50, workload.RandomShift, 6))
+
+	umm := mustModel(t, Config{Dim: 2, Seed: 7})
+	gmm, err := NewGaussianModel(Config{Dim: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range train {
+		if err := umm.Observe(o.Query.Box(), o.Sel); err != nil {
+			t.Fatal(err)
+		}
+		if err := gmm.Observe(o.Query.Box(), o.Sel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := umm.Train(); err != nil {
+		t.Fatal(err)
+	}
+	if err := gmm.Train(); err != nil {
+		t.Fatal(err)
+	}
+	var eU, eG stats.Summary
+	for _, o := range test {
+		b := o.Query.Box()
+		u, err := umm.Estimate(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := gmm.Estimate(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eU.Add(stats.RelativeError(o.Sel, u))
+		eG.Add(stats.RelativeError(o.Sel, g))
+	}
+	t.Logf("UMM err %.3f vs GMM err %.3f", eU.Mean(), eG.Mean())
+	// Both must be usable models (each beating a 100% error bar) and within
+	// a factor of each other.
+	if eU.Mean() > 1 || eG.Mean() > 1 {
+		t.Errorf("mixture errors too high: UMM %.3f GMM %.3f", eU.Mean(), eG.Mean())
+	}
+	if eG.Mean() > 4*eU.Mean()+0.05 {
+		t.Errorf("GMM (%.3f) should be competitive with UMM (%.3f)", eG.Mean(), eU.Mean())
+	}
+}
+
+func TestGaussianModelEstimatesInRange(t *testing.T) {
+	g, err := NewGaussianModel(Config{Dim: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 20; i++ {
+		lo := []float64{rng.Float64() * 0.7, rng.Float64() * 0.7}
+		b := geom.NewBox(lo, []float64{lo[0] + 0.2, lo[1] + 0.2}).Clip(geom.Unit(2))
+		if err := g.Observe(b, rng.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < 30; k++ {
+		lo := []float64{rng.Float64(), rng.Float64()}
+		b := geom.NewBox(lo, []float64{lo[0] + rng.Float64(), lo[1] + rng.Float64()}).Clip(geom.Unit(2))
+		e, err := g.Estimate(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e < 0 || e > 1 || math.IsNaN(e) {
+			t.Fatalf("estimate %g out of range", e)
+		}
+	}
+}

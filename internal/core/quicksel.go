@@ -1,0 +1,388 @@
+// Package core implements QuickSel's selectivity-learning model: a uniform
+// mixture model (UMM) over hyperrectangular subpopulations, trained by the
+// min-difference-from-uniform quadratic program of §4 and queried by the
+// closed-form estimator of §3.2.
+//
+// All geometry is in the normalized unit cube [0,1)^d; callers lower raw
+// predicates through internal/predicate first. The model is deliberately
+// small-surface: Observe records a (box, selectivity) pair, Train fits the
+// subpopulation weights, Estimate evaluates a new box.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"quicksel/internal/geom"
+	"quicksel/internal/linalg"
+	"quicksel/internal/qp"
+)
+
+// Defaults from the paper.
+const (
+	// DefaultSubpopsPerQuery scales the number of subpopulations with the
+	// number of observed queries: m = min(4·n, DefaultMaxSubpops) (§3.3).
+	DefaultSubpopsPerQuery = 4
+	// DefaultMaxSubpops caps the model size (§3.3, footnote 9).
+	DefaultMaxSubpops = 4000
+	// DefaultPointsPerPredicate is the number of workload-aware points
+	// generated inside each observed predicate ("QuickSel limits the number
+	// to 10 since generating more than 10 points did not improve accuracy").
+	DefaultPointsPerPredicate = 10
+	// DefaultNearestCenters sizes each subpopulation box by the average
+	// distance to this many closest centers (§3.3 step 3).
+	DefaultNearestCenters = 10
+)
+
+// Config tunes the model. The zero value of every field selects the paper's
+// default.
+type Config struct {
+	Dim                int     // dimensionality of the normalized domain (required)
+	SubpopsPerQuery    int     // m = SubpopsPerQuery·n, before capping
+	MaxSubpops         int     // hard cap on m
+	FixedSubpops       int     // if >0, m is fixed at this value (Fig 7c mode)
+	PointsPerPredicate int     // workload-aware points per observed query
+	NearestCenters     int     // neighbours used to size each subpopulation
+	Lambda             float64 // penalty weight of Problem 3
+	Seed               int64   // PRNG seed; same seed + same stream ⇒ same model
+	// UseIterativeSolver switches training to the projected-gradient QP of
+	// internal/qp, standing in for the "Standard QP" baseline in Figure 6
+	// and the solver ablation. Off by default (analytic solve).
+	UseIterativeSolver bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.SubpopsPerQuery == 0 {
+		c.SubpopsPerQuery = DefaultSubpopsPerQuery
+	}
+	if c.MaxSubpops == 0 {
+		c.MaxSubpops = DefaultMaxSubpops
+	}
+	if c.PointsPerPredicate == 0 {
+		c.PointsPerPredicate = DefaultPointsPerPredicate
+	}
+	if c.NearestCenters == 0 {
+		c.NearestCenters = DefaultNearestCenters
+	}
+	if c.Lambda == 0 {
+		c.Lambda = qp.DefaultLambda
+	}
+	return c
+}
+
+// observation is one training record (P_i, s_i), with its pre-generated
+// workload-aware points (§3.3 step 1).
+type observation struct {
+	box    geom.Box
+	sel    float64
+	points [][]float64
+}
+
+// Model is QuickSel's trainable uniform mixture model. It is not safe for
+// concurrent mutation; wrap with the public quicksel.Estimator for a
+// synchronized facade.
+type Model struct {
+	cfg  Config
+	rng  *rand.Rand
+	unit geom.Box
+
+	// defaultPoints are the workload-aware points of the default query
+	// (P0, 1) over the whole domain (§2.2: "we can conceptually consider a
+	// default query (P0, 1)"). Including them in the center pool guarantees
+	// some subpopulations cover regions no predicate has touched, so the
+	// normalization constraint Σw = 1 never conflicts with localized
+	// observations.
+	defaultPoints [][]float64
+
+	observations []observation
+
+	// Trained state.
+	subpops []geom.Box
+	weights []float64
+	trained bool
+
+	// Diagnostics for the experiment drivers.
+	lastIters int // iterations of the iterative solver (0 for analytic)
+}
+
+// New returns an empty model over [0,1)^Dim.
+func New(cfg Config) (*Model, error) {
+	if cfg.Dim < 1 {
+		return nil, fmt.Errorf("core: Dim must be >= 1, got %d", cfg.Dim)
+	}
+	if cfg.Lambda < 0 {
+		return nil, fmt.Errorf("core: negative Lambda %g", cfg.Lambda)
+	}
+	if cfg.FixedSubpops < 0 || cfg.SubpopsPerQuery < 0 || cfg.MaxSubpops < 0 ||
+		cfg.PointsPerPredicate < 0 || cfg.NearestCenters < 0 {
+		return nil, errors.New("core: negative configuration value")
+	}
+	c := cfg.withDefaults()
+	m := &Model{
+		cfg:  c,
+		rng:  rand.New(rand.NewSource(c.Seed)),
+		unit: geom.Unit(c.Dim),
+	}
+	m.defaultPoints = make([][]float64, c.PointsPerPredicate)
+	for i := range m.defaultPoints {
+		p := make([]float64, c.Dim)
+		for d := range p {
+			p[d] = m.rng.Float64()
+		}
+		m.defaultPoints[i] = p
+	}
+	return m, nil
+}
+
+// Dim returns the model's dimensionality.
+func (m *Model) Dim() int { return m.cfg.Dim }
+
+// NumObserved returns the number of recorded training queries.
+func (m *Model) NumObserved() int { return len(m.observations) }
+
+// ParamCount returns the number of model parameters (subpopulation
+// weights) of the last trained model; 0 before training.
+func (m *Model) ParamCount() int { return len(m.weights) }
+
+// Weights returns a copy of the trained subpopulation weights.
+func (m *Model) Weights() []float64 {
+	out := make([]float64, len(m.weights))
+	copy(out, m.weights)
+	return out
+}
+
+// Subpopulations returns a copy of the trained subpopulation boxes.
+func (m *Model) Subpopulations() []geom.Box {
+	out := make([]geom.Box, len(m.subpops))
+	for i, b := range m.subpops {
+		out[i] = b.Clone()
+	}
+	return out
+}
+
+// SolverIterations reports the iterative solver's iteration count of the
+// last Train call (0 when the analytic path was used).
+func (m *Model) SolverIterations() int { return m.lastIters }
+
+// Observe records one (predicate box, true selectivity) pair in normalized
+// coordinates and invalidates the trained state. Selectivities are clamped
+// to [0,1]; an invalid box is rejected.
+func (m *Model) Observe(box geom.Box, sel float64) error {
+	if box.Dim() != m.cfg.Dim {
+		return fmt.Errorf("core: observed box has dim %d, model has %d", box.Dim(), m.cfg.Dim)
+	}
+	if err := box.Validate(); err != nil {
+		return fmt.Errorf("core: observed box: %w", err)
+	}
+	if math.IsNaN(sel) {
+		return errors.New("core: NaN selectivity")
+	}
+	if sel < 0 {
+		sel = 0
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	b := box.Clip(m.unit)
+	obs := observation{box: b, sel: sel}
+	// Workload-aware points (§3.3 step 1): random points inside the
+	// predicate box, drawn once at observation time for determinism.
+	if !b.IsEmpty() {
+		obs.points = make([][]float64, m.cfg.PointsPerPredicate)
+		for i := range obs.points {
+			p := make([]float64, m.cfg.Dim)
+			for d := 0; d < m.cfg.Dim; d++ {
+				p[d] = b.Lo[d] + m.rng.Float64()*(b.Hi[d]-b.Lo[d])
+			}
+			obs.points[i] = p
+		}
+	}
+	m.observations = append(m.observations, obs)
+	m.trained = false
+	return nil
+}
+
+// targetSubpops returns the m of §3.3 for the current observation count.
+func (m *Model) targetSubpops() int {
+	if m.cfg.FixedSubpops > 0 {
+		return m.cfg.FixedSubpops
+	}
+	t := m.cfg.SubpopsPerQuery * len(m.observations)
+	if t > m.cfg.MaxSubpops {
+		t = m.cfg.MaxSubpops
+	}
+	return t
+}
+
+// Train regenerates the subpopulations from the observed workload and
+// solves the QP of Problem 3 for their weights. Training with zero
+// observations resets the model to the uniform prior.
+func (m *Model) Train() error {
+	n := len(m.observations)
+	if n == 0 {
+		m.subpops, m.weights = nil, nil
+		m.trained = true
+		m.lastIters = 0
+		return nil
+	}
+
+	centers := m.sampleCenters(m.targetSubpops())
+	if len(centers) == 0 {
+		// All observed predicates were empty boxes; fall back to uniform.
+		m.subpops, m.weights = nil, nil
+		m.trained = true
+		m.lastIters = 0
+		return nil
+	}
+	m.subpops = m.sizeSubpopulations(centers)
+
+	q, a, s := m.assemble()
+	prob := &qp.Problem{Q: q, A: a, S: s, Lambda: m.cfg.Lambda}
+	if m.cfg.UseIterativeSolver {
+		res, err := qp.SolveIterative(prob, qp.IterativeOptions{Project: true})
+		if err != nil {
+			return fmt.Errorf("core: iterative training: %w", err)
+		}
+		m.weights = res.W
+		m.lastIters = res.Iters
+	} else {
+		w, err := qp.SolveAnalytic(prob)
+		if err != nil {
+			return fmt.Errorf("core: analytic training: %w", err)
+		}
+		m.weights = w
+		m.lastIters = 0
+	}
+	m.trained = true
+	return nil
+}
+
+// sampleCenters pools the workload-aware points of all observations —
+// including the default query's domain-wide points — and subsamples target
+// of them without replacement (§3.3 step 2).
+func (m *Model) sampleCenters(target int) [][]float64 {
+	var pool [][]float64
+	pool = append(pool, m.defaultPoints...)
+	for _, o := range m.observations {
+		pool = append(pool, o.points...)
+	}
+	if len(pool) <= target {
+		return pool
+	}
+	// Partial Fisher-Yates: the first target entries are a uniform sample.
+	for i := 0; i < target; i++ {
+		j := i + m.rng.Intn(len(pool)-i)
+		pool[i], pool[j] = pool[j], pool[i]
+	}
+	return pool[:target]
+}
+
+// sizeSubpopulations builds one box per center, sized by the average
+// distance to the NearestCenters closest other centers (§3.3 step 3) so
+// neighbouring subpopulations slightly overlap.
+func (m *Model) sizeSubpopulations(centers [][]float64) []geom.Box {
+	radii := centerRadii(centers, m.cfg.NearestCenters)
+	boxes := make([]geom.Box, len(centers))
+	for i, c := range centers {
+		hw := make([]float64, m.cfg.Dim)
+		for d := range hw {
+			hw[d] = radii[i]
+		}
+		boxes[i] = geom.CenteredBox(c, hw, m.unit)
+	}
+	return boxes
+}
+
+// assemble forms the QP data of Theorem 1. Row 0 of A is the default query
+// (P0, 1) over the whole domain, guaranteeing Σ w ≈ 1; rows 1..n are the
+// observed queries.
+func (m *Model) assemble() (q, a *linalg.Matrix, s []float64) {
+	sub := m.subpops
+	mm := len(sub)
+	invVol := make([]float64, mm)
+	for i, g := range sub {
+		invVol[i] = 1 / g.Volume()
+	}
+	q = linalg.NewMatrix(mm, mm)
+	for i := 0; i < mm; i++ {
+		q.Set(i, i, invVol[i])
+		for j := i + 1; j < mm; j++ {
+			v := sub[i].IntersectionVolume(sub[j]) * invVol[i] * invVol[j]
+			q.Set(i, j, v)
+			q.Set(j, i, v)
+		}
+	}
+	n := len(m.observations)
+	a = linalg.NewMatrix(n+1, mm)
+	s = make([]float64, n+1)
+	s[0] = 1
+	for j := 0; j < mm; j++ {
+		a.Set(0, j, 1) // subpopulations live inside B0, so |B0∩Gj|/|Gj| = 1
+	}
+	for i, o := range m.observations {
+		s[i+1] = o.sel
+		for j := 0; j < mm; j++ {
+			a.Set(i+1, j, o.box.IntersectionVolume(sub[j])*invVol[j])
+		}
+	}
+	return q, a, s
+}
+
+// ensureTrained trains lazily so Estimate can be called right after Observe.
+func (m *Model) ensureTrained() error {
+	if m.trained {
+		return nil
+	}
+	return m.Train()
+}
+
+// Estimate returns the model's selectivity estimate for a normalized box,
+// clamped to [0,1]. With no trained subpopulations the model is the uniform
+// prior, whose estimate is the box volume (|B|/|B0| with |B0| = 1).
+func (m *Model) Estimate(box geom.Box) (float64, error) {
+	if box.Dim() != m.cfg.Dim {
+		return 0, fmt.Errorf("core: query box has dim %d, model has %d", box.Dim(), m.cfg.Dim)
+	}
+	if err := m.ensureTrained(); err != nil {
+		return 0, err
+	}
+	b := box.Clip(m.unit)
+	if len(m.subpops) == 0 {
+		return b.Volume(), nil
+	}
+	var est float64
+	for j, g := range m.subpops {
+		w := m.weights[j]
+		if w == 0 {
+			continue
+		}
+		est += w * b.IntersectionVolume(g) / g.Volume()
+	}
+	if est < 0 {
+		est = 0
+	}
+	if est > 1 {
+		est = 1
+	}
+	return est, nil
+}
+
+// EstimateUnion estimates the selectivity of a union of pairwise-disjoint
+// boxes (the lowered form of predicates with disjunctions/negations); by
+// disjointness the estimates are additive.
+func (m *Model) EstimateUnion(boxes []geom.Box) (float64, error) {
+	var est float64
+	for _, b := range boxes {
+		e, err := m.Estimate(b)
+		if err != nil {
+			return 0, err
+		}
+		est += e
+	}
+	if est > 1 {
+		est = 1
+	}
+	return est, nil
+}

@@ -1,0 +1,281 @@
+// Package engine is a miniature query-execution substrate reproducing the
+// integration story of §6 of the paper: "most DBMS systems contain the
+// module that computes actual selectivities, the module that computes
+// selectivity estimates, and the API to store metadata in its system
+// catalog." It provides exactly those three modules:
+//
+//   - Exec runs filter queries against registered tables and — like Spark's
+//     FilterExec — records each predicate's actual selectivity as a side
+//     effect of execution.
+//   - Estimate serves selectivity estimates from the learned model, the
+//     hook a cost-based optimizer would call during planning.
+//   - Catalog persists the observed-query feedback (the paper's "store the
+//     observed selectivities in its metastore") with JSON round-tripping,
+//     so a restarted engine resumes learning where it left off.
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"quicksel/internal/core"
+	"quicksel/internal/geom"
+	"quicksel/internal/predicate"
+	"quicksel/internal/table"
+)
+
+// ObservedQuery is one catalog record: a lowered predicate box and the
+// actual selectivity measured during execution.
+type ObservedQuery struct {
+	Lo  []float64 `json:"lo"`
+	Hi  []float64 `json:"hi"`
+	Sel float64   `json:"sel"`
+}
+
+// tableState bundles a registered table with its learning state.
+type tableState struct {
+	tbl      *table.Table
+	model    *core.Model
+	observed []ObservedQuery
+}
+
+// Engine executes filter queries over registered tables and learns
+// selectivities from every execution. Safe for concurrent use.
+type Engine struct {
+	mu     sync.Mutex
+	seed   int64
+	tables map[string]*tableState
+}
+
+// New returns an empty engine. The seed makes all learned models
+// deterministic.
+func New(seed int64) *Engine {
+	return &Engine{seed: seed, tables: map[string]*tableState{}}
+}
+
+// Register adds a table under a name. Re-registering a name is an error;
+// Drop it first.
+func (e *Engine) Register(name string, tbl *table.Table) error {
+	if tbl == nil {
+		return fmt.Errorf("engine: nil table")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.tables[name]; ok {
+		return fmt.Errorf("engine: table %q already registered", name)
+	}
+	m, err := core.New(core.Config{Dim: tbl.Schema().Dim(), Seed: e.seed})
+	if err != nil {
+		return err
+	}
+	e.tables[name] = &tableState{tbl: tbl, model: m}
+	return nil
+}
+
+// Drop removes a table and its learned state.
+func (e *Engine) Drop(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.tables[name]; !ok {
+		return fmt.Errorf("engine: unknown table %q", name)
+	}
+	delete(e.tables, name)
+	return nil
+}
+
+// Tables lists registered table names, sorted.
+func (e *Engine) Tables() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	names := make([]string, 0, len(e.tables))
+	for n := range e.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Result reports one executed filter query.
+type Result struct {
+	Rows        int     // matching rows
+	Selectivity float64 // actual selectivity, also fed back into the model
+}
+
+// Exec runs a filter query: it counts the rows of the named table matching
+// the predicate and, as a side effect (the FilterExec hook of §6), records
+// the actual selectivity in the catalog and the learned model.
+func (e *Engine) Exec(tableName string, p *predicate.Predicate) (*Result, error) {
+	e.mu.Lock()
+	st, ok := e.tables[tableName]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", tableName)
+	}
+	boxes, err := p.Boxes(st.tbl.Schema())
+	if err != nil {
+		return nil, fmt.Errorf("engine: exec: %w", err)
+	}
+	sel := st.tbl.SelectivityBoxes(boxes)
+	rows := int(sel*float64(st.tbl.Rows()) + 0.5)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, b := range boxes {
+		// Apportion the mass by volume across disjoint pieces, matching the
+		// public API's treatment of non-conjunctive predicates.
+		share := sel
+		if len(boxes) > 1 {
+			var total float64
+			for _, bb := range boxes {
+				total += bb.Volume()
+			}
+			if total == 0 {
+				continue
+			}
+			share = sel * b.Volume() / total
+		}
+		if err := st.model.Observe(b, share); err != nil {
+			return nil, err
+		}
+		st.observed = append(st.observed, ObservedQuery{Lo: b.Lo, Hi: b.Hi, Sel: share})
+	}
+	return &Result{Rows: rows, Selectivity: sel}, nil
+}
+
+// Estimate returns the learned estimate for a predicate over the named
+// table — the planner-side hook of §6.
+func (e *Engine) Estimate(tableName string, p *predicate.Predicate) (float64, error) {
+	e.mu.Lock()
+	st, ok := e.tables[tableName]
+	e.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("engine: unknown table %q", tableName)
+	}
+	boxes, err := p.Boxes(st.tbl.Schema())
+	if err != nil {
+		return 0, fmt.Errorf("engine: estimate: %w", err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return st.model.EstimateUnion(boxes)
+}
+
+// Refresh retrains the named table's model (or all tables if name is "").
+// A DBMS would schedule this off the query path, like ANALYZE.
+func (e *Engine) Refresh(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if name != "" {
+		st, ok := e.tables[name]
+		if !ok {
+			return fmt.Errorf("engine: unknown table %q", name)
+		}
+		return st.model.Train()
+	}
+	for _, st := range e.tables {
+		if err := st.model.Train(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ObservedCount reports how many feedback records the named table has.
+func (e *Engine) ObservedCount(name string) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.tables[name]
+	if !ok {
+		return 0, fmt.Errorf("engine: unknown table %q", name)
+	}
+	return len(st.observed), nil
+}
+
+// catalogFile is the JSON shape of the persisted catalog.
+type catalogFile struct {
+	Version int                        `json:"version"`
+	Tables  map[string][]ObservedQuery `json:"tables"`
+}
+
+// SaveCatalog writes all observed-query feedback as JSON — the metastore
+// write of §6.
+func (e *Engine) SaveCatalog(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := catalogFile{Version: 1, Tables: map[string][]ObservedQuery{}}
+	for name, st := range e.tables {
+		out.Tables[name] = st.observed
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadCatalog replays persisted feedback into the engine's models. Tables
+// present in the catalog but not registered are skipped (they may be
+// re-registered later and reloaded); dimension mismatches are errors.
+func (e *Engine) LoadCatalog(r io.Reader) error {
+	var in catalogFile
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return fmt.Errorf("engine: catalog decode: %w", err)
+	}
+	if in.Version != 1 {
+		return fmt.Errorf("engine: unsupported catalog version %d", in.Version)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for name, obs := range in.Tables {
+		st, ok := e.tables[name]
+		if !ok {
+			continue
+		}
+		for _, o := range obs {
+			box := geom.Box{Lo: o.Lo, Hi: o.Hi}
+			if box.Dim() != st.tbl.Schema().Dim() {
+				return fmt.Errorf("engine: catalog entry for %q has dim %d, table has %d",
+					name, box.Dim(), st.tbl.Schema().Dim())
+			}
+			if err := box.Validate(); err != nil {
+				return fmt.Errorf("engine: catalog entry for %q: %w", name, err)
+			}
+			if err := st.model.Observe(box, o.Sel); err != nil {
+				return err
+			}
+			st.observed = append(st.observed, o)
+		}
+	}
+	return nil
+}
+
+// ExecWhere is Exec with a parsed WHERE clause (see predicate.Parse).
+func (e *Engine) ExecWhere(tableName, where string) (*Result, error) {
+	e.mu.Lock()
+	st, ok := e.tables[tableName]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", tableName)
+	}
+	p, err := predicate.Parse(st.tbl.Schema(), where)
+	if err != nil {
+		return nil, err
+	}
+	return e.Exec(tableName, p)
+}
+
+// EstimateWhere is Estimate with a parsed WHERE clause.
+func (e *Engine) EstimateWhere(tableName, where string) (float64, error) {
+	e.mu.Lock()
+	st, ok := e.tables[tableName]
+	e.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("engine: unknown table %q", tableName)
+	}
+	p, err := predicate.Parse(st.tbl.Schema(), where)
+	if err != nil {
+		return 0, err
+	}
+	return e.Estimate(tableName, p)
+}

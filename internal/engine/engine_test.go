@@ -1,0 +1,326 @@
+package engine
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"quicksel/internal/predicate"
+	"quicksel/internal/table"
+)
+
+func newPeopleTable(t *testing.T, rows int, seed int64) *table.Table {
+	t.Helper()
+	s := predicate.MustSchema(
+		predicate.Column{Name: "age", Kind: predicate.Integer, Min: 18, Max: 90},
+		predicate.Column{Name: "salary", Kind: predicate.Real, Min: 0, Max: 200000},
+	)
+	tb := table.New(s)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < rows; i++ {
+		age := float64(18 + rng.Intn(73))
+		salary := 20000 + (age-18)*1500 + rng.Float64()*40000 // age-correlated
+		if err := tb.Insert([]float64{age, salary}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func TestRegisterAndDrop(t *testing.T) {
+	e := New(1)
+	tb := newPeopleTable(t, 100, 2)
+	if err := e.Register("people", tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register("people", tb); err == nil {
+		t.Error("duplicate registration must fail")
+	}
+	if err := e.Register("x", nil); err == nil {
+		t.Error("nil table must fail")
+	}
+	if got := e.Tables(); len(got) != 1 || got[0] != "people" {
+		t.Errorf("Tables = %v", got)
+	}
+	if err := e.Drop("people"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Drop("people"); err == nil {
+		t.Error("double drop must fail")
+	}
+	if len(e.Tables()) != 0 {
+		t.Error("table not dropped")
+	}
+}
+
+func TestExecCountsAndLearns(t *testing.T) {
+	e := New(3)
+	tb := newPeopleTable(t, 2000, 4)
+	if err := e.Register("people", tb); err != nil {
+		t.Fatal(err)
+	}
+	p := predicate.Range(0, 30, 50)
+	res, err := e.Exec("people", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tb.Selectivity(p)
+	if math.Abs(res.Selectivity-want) > 1e-12 {
+		t.Errorf("Exec selectivity = %g, want %g", res.Selectivity, want)
+	}
+	if res.Rows != int(want*2000+0.5) {
+		t.Errorf("Rows = %d", res.Rows)
+	}
+	n, err := e.ObservedCount("people")
+	if err != nil || n != 1 {
+		t.Errorf("ObservedCount = %d, %v", n, err)
+	}
+	// The learned estimate reproduces the executed query.
+	if err := e.Refresh("people"); err != nil {
+		t.Fatal(err)
+	}
+	est, err := e.Estimate("people", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-want) > 0.05 {
+		t.Errorf("Estimate = %g, want ≈%g", est, want)
+	}
+}
+
+func TestExecUnknownTable(t *testing.T) {
+	e := New(1)
+	if _, err := e.Exec("nope", predicate.All()); err == nil {
+		t.Error("expected unknown-table error")
+	}
+	if _, err := e.Estimate("nope", predicate.All()); err == nil {
+		t.Error("expected unknown-table error")
+	}
+	if err := e.Refresh("nope"); err == nil {
+		t.Error("expected unknown-table error")
+	}
+	if _, err := e.ObservedCount("nope"); err == nil {
+		t.Error("expected unknown-table error")
+	}
+}
+
+func TestExecBadPredicate(t *testing.T) {
+	e := New(1)
+	if err := e.Register("people", newPeopleTable(t, 10, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Exec("people", predicate.Range(9, 0, 1)); err == nil {
+		t.Error("expected lowering error")
+	}
+}
+
+func TestDisjunctionFeedback(t *testing.T) {
+	e := New(6)
+	tb := newPeopleTable(t, 2000, 7)
+	if err := e.Register("people", tb); err != nil {
+		t.Fatal(err)
+	}
+	p := predicate.Or(predicate.Range(0, 18, 25), predicate.Range(0, 70, 90))
+	res, err := e.Exec("people", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := e.Estimate("people", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-res.Selectivity) > 0.1 {
+		t.Errorf("disjunction estimate = %g, want ≈%g", est, res.Selectivity)
+	}
+}
+
+func TestEngineLearnsWorkload(t *testing.T) {
+	e := New(8)
+	tb := newPeopleTable(t, 5000, 9)
+	if err := e.Register("people", tb); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	randPred := func() *predicate.Predicate {
+		lo := float64(18 + rng.Intn(50))
+		sLo := rng.Float64() * 150000
+		return predicate.And(
+			predicate.Range(0, lo, lo+float64(5+rng.Intn(25))),
+			predicate.Range(1, sLo, sLo+30000+rng.Float64()*50000),
+		)
+	}
+	for i := 0; i < 80; i++ {
+		if _, err := e.Exec("people", randPred()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Refresh(""); err != nil {
+		t.Fatal(err)
+	}
+	// On held-out predicates the learned estimates beat the uniform prior.
+	var errLearned, errUniform float64
+	const test = 40
+	for i := 0; i < test; i++ {
+		p := randPred()
+		truth := tb.Selectivity(p)
+		est, err := e.Estimate("people", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		boxes, err := p.Boxes(tb.Schema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var uniform float64
+		for _, b := range boxes {
+			uniform += b.Volume()
+		}
+		errLearned += math.Abs(truth - est)
+		errUniform += math.Abs(truth - uniform)
+	}
+	if errLearned >= errUniform {
+		t.Errorf("learned error (%.4f) should beat uniform (%.4f)", errLearned/test, errUniform/test)
+	}
+}
+
+func TestCatalogRoundTrip(t *testing.T) {
+	build := func() (*Engine, *table.Table) {
+		e := New(11)
+		tb := newPeopleTable(t, 2000, 12)
+		if err := e.Register("people", tb); err != nil {
+			t.Fatal(err)
+		}
+		return e, tb
+	}
+	e1, _ := build()
+	preds := []*predicate.Predicate{
+		predicate.Range(0, 20, 40),
+		predicate.Range(0, 40, 60),
+		predicate.AtLeast(1, 100000),
+	}
+	for _, p := range preds {
+		if _, err := e1.Exec("people", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := e1.SaveCatalog(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh engine restored from the catalog produces the same estimates.
+	e2, _ := build()
+	if err := e2.LoadCatalog(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	n, err := e2.ObservedCount("people")
+	if err != nil || n != 3 {
+		t.Fatalf("restored ObservedCount = %d, %v", n, err)
+	}
+	for _, p := range preds {
+		a, err := e1.Estimate("people", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e2.Estimate("people", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a-b) > 1e-9 {
+			t.Errorf("restored estimate differs: %g vs %g for %s", a, b, p)
+		}
+	}
+}
+
+func TestLoadCatalogErrors(t *testing.T) {
+	e := New(13)
+	if err := e.Register("people", newPeopleTable(t, 10, 14)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LoadCatalog(strings.NewReader("{garbage")); err == nil {
+		t.Error("expected decode error")
+	}
+	if err := e.LoadCatalog(strings.NewReader(`{"version": 99, "tables": {}}`)); err == nil {
+		t.Error("expected version error")
+	}
+	// Dimension mismatch.
+	bad := `{"version":1,"tables":{"people":[{"lo":[0],"hi":[1],"sel":0.5}]}}`
+	if err := e.LoadCatalog(strings.NewReader(bad)); err == nil {
+		t.Error("expected dimension error")
+	}
+	// Unknown tables are skipped silently.
+	skip := `{"version":1,"tables":{"ghost":[{"lo":[0,0],"hi":[1,1],"sel":0.5}]}}`
+	if err := e.LoadCatalog(strings.NewReader(skip)); err != nil {
+		t.Errorf("unknown table should be skipped, got %v", err)
+	}
+}
+
+func TestConcurrentExecEstimate(t *testing.T) {
+	e := New(15)
+	tb := newPeopleTable(t, 1000, 16)
+	if err := e.Register("people", tb); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 20; i++ {
+				lo := float64(18 + rng.Intn(60))
+				p := predicate.Range(0, lo, lo+10)
+				if _, err := e.Exec("people", p); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := e.Estimate("people", p); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	n, err := e.ObservedCount("people")
+	if err != nil || n != 80 {
+		t.Errorf("ObservedCount = %d, %v", n, err)
+	}
+}
+
+func TestExecWhere(t *testing.T) {
+	e := New(20)
+	tb := newPeopleTable(t, 2000, 21)
+	if err := e.Register("people", tb); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.ExecWhere("people", "age BETWEEN 30 AND 49")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Selectivity <= 0 {
+		t.Errorf("selectivity = %g", res.Selectivity)
+	}
+	est, err := e.EstimateWhere("people", "age BETWEEN 30 AND 49")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-res.Selectivity) > 0.05 {
+		t.Errorf("EstimateWhere = %g, want ≈%g", est, res.Selectivity)
+	}
+	if _, err := e.ExecWhere("people", "nope > 1"); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := e.ExecWhere("ghost", "age > 1"); err == nil {
+		t.Error("expected unknown-table error")
+	}
+	if _, err := e.EstimateWhere("ghost", "age > 1"); err == nil {
+		t.Error("expected unknown-table error")
+	}
+	if _, err := e.EstimateWhere("people", "bad syntax ((("); err == nil {
+		t.Error("expected parse error")
+	}
+}

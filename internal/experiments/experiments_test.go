@@ -1,0 +1,424 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"quicksel/internal/workload"
+)
+
+func TestNewMethodKnownNames(t *testing.T) {
+	for _, name := range AllQueryDriven {
+		m, err := NewMethod(name, 2, MethodOptions{Seed: 1})
+		if err != nil {
+			t.Fatalf("NewMethod(%q): %v", name, err)
+		}
+		if m == nil {
+			t.Fatalf("NewMethod(%q) returned nil", name)
+		}
+	}
+	if _, err := NewMethod("bogus", 2, MethodOptions{}); err == nil {
+		t.Error("expected error for unknown method")
+	}
+}
+
+func TestDatasetByName(t *testing.T) {
+	for _, name := range []string{"dmv", "instacart", "gaussian"} {
+		ds, _, err := DatasetByName(name, 500, 1)
+		if err != nil {
+			t.Fatalf("DatasetByName(%q): %v", name, err)
+		}
+		if ds.Table.Rows() != 500 {
+			t.Errorf("%s rows = %d", name, ds.Table.Rows())
+		}
+		qs := QueriesFor(ds, 5, 2)
+		if len(qs) != 5 {
+			t.Errorf("%s queries = %d", name, len(qs))
+		}
+	}
+	if _, _, err := DatasetByName("bogus", 10, 1); err == nil {
+		t.Error("expected error for unknown dataset")
+	}
+}
+
+func TestRunMethodAllMethodsProduceFiniteResults(t *testing.T) {
+	ds, _, err := DatasetByName("gaussian", 5000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := workload.Observe(ds, QueriesFor(ds, 20, 4))
+	test := workload.Observe(ds, QueriesFor(ds, 20, 5))
+	for _, name := range AllQueryDriven {
+		mr, err := RunMethod(name, 2, train, test, MethodOptions{Seed: 6})
+		if err != nil {
+			t.Fatalf("RunMethod(%s): %v", name, err)
+		}
+		if math.IsNaN(mr.RelErr) || mr.RelErr < 0 {
+			t.Errorf("%s: bad RelErr %g", name, mr.RelErr)
+		}
+		if mr.Params <= 0 {
+			t.Errorf("%s: ParamCount = %d", name, mr.Params)
+		}
+		if mr.PerQueryMs < 0 {
+			t.Errorf("%s: PerQueryMs = %g", name, mr.PerQueryMs)
+		}
+	}
+}
+
+// TestTable3Shape asserts Table 3's qualitative claims: QuickSel ingests
+// more queries in comparable time, and its per-query refinement is much
+// cheaper than ISOMER's.
+func TestTable3Shape(t *testing.T) {
+	res, err := RunTable3(Table3Config{
+		Rows:            8000,
+		ISOMERQueriesA:  60,
+		ISOMERQueriesB:  25,
+		QuickSelQueries: 240,
+		TestQueries:     60,
+		Seed:            7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ds, speedup := range res.SpeedupByDataset {
+		if speedup <= 1 {
+			t.Errorf("%s: QuickSel per-query time should beat ISOMER, speedup = %.2f", ds, speedup)
+		}
+	}
+	if len(res.Efficiency) != 4 || len(res.Accuracy) != 4 {
+		t.Fatalf("expected 4 rows per half, got %d/%d", len(res.Efficiency), len(res.Accuracy))
+	}
+	// ISOMER's parameter count must dwarf QuickSel's (Limitation 1).
+	for i := 0; i < len(res.Efficiency); i += 2 {
+		iso, qs := res.Efficiency[i], res.Efficiency[i+1]
+		if iso.Params < qs.Params {
+			t.Errorf("%s: ISOMER params (%d) should exceed QuickSel's (%d)", iso.Dataset, iso.Params, qs.Params)
+		}
+	}
+	if s := res.String(); !strings.Contains(s, "Table 3a") || !strings.Contains(s, "Table 3b") {
+		t.Error("rendering must include both halves")
+	}
+}
+
+// TestSweepShape asserts the Figure 3/4 claims: ISOMER's parameters grow
+// superlinearly while QuickSel's stay at 4n, and QuickSel's per-query time
+// is the lowest among max-entropy methods.
+func TestSweepShape(t *testing.T) {
+	res, err := RunSweep(SweepConfig{
+		Dataset:     "gaussian",
+		Rows:        8000,
+		Ns:          []int{10, 20, 40},
+		Methods:     []string{MethodISOMER, MethodQuickSel, MethodSTHoles},
+		TestQueries: 50,
+		Seed:        8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped := res.ByMethod()
+	iso := grouped[MethodISOMER]
+	qs := grouped[MethodQuickSel]
+	if len(iso) != 3 || len(qs) != 3 {
+		t.Fatalf("missing sweep points: %d/%d", len(iso), len(qs))
+	}
+	// Fig 4a: QuickSel params = 4n exactly; ISOMER explodes past it.
+	for i, p := range qs {
+		if p.Params != 4*p.N {
+			t.Errorf("QuickSel params at n=%d: %d, want %d", p.N, p.Params, 4*p.N)
+		}
+		if iso[i].Params <= p.Params {
+			t.Errorf("ISOMER params (%d) should exceed QuickSel's (%d) at n=%d", iso[i].Params, p.Params, p.N)
+		}
+	}
+	// ISOMER bucket growth is superlinear in n.
+	if iso[2].Params < 2*iso[0].Params {
+		t.Errorf("ISOMER params should grow quickly: %d → %d", iso[0].Params, iso[2].Params)
+	}
+	// Fig 3c derivation never returns negative times.
+	for m, v := range res.TimeToReachError(0.5) {
+		if !math.IsInf(v, 1) && v < 0 {
+			t.Errorf("TimeToReachError(%s) = %g", m, v)
+		}
+	}
+	if s := res.String(); !strings.Contains(s, "Fig 3c/3f") {
+		t.Error("rendering must include the derived series")
+	}
+}
+
+// TestFigure5Shape asserts the drift experiment's headline: QuickSel's
+// error improves after it has observed queries, and it beats the
+// scan-based methods on average.
+func TestFigure5Shape(t *testing.T) {
+	res, err := RunFigure5(Figure5Config{
+		InitialRows:     20000,
+		BatchRows:       4000,
+		Batches:         4,
+		QueriesPerBatch: 40,
+		Params:          100,
+		Seed:            9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(res.Points))
+	}
+	// After the first batch QuickSel has trained; later batches must beat
+	// its untrained first batch.
+	first := res.Points[0].QuickSel
+	last := res.Points[len(res.Points)-1].QuickSel
+	if last >= first {
+		t.Errorf("QuickSel error should fall with feedback: first %.3f, last %.3f", first, last)
+	}
+	if res.MeanQuickSel >= res.MeanAutoSample {
+		t.Errorf("QuickSel (%.3f) should beat AutoSample (%.3f) on average",
+			res.MeanQuickSel, res.MeanAutoSample)
+	}
+	// QuickSel retrains every batch; the scan-based methods refresh only
+	// when their change thresholds trip, so their means may be zero at this
+	// reduced scale (the scaling claim is covered by TestFigure5bScaling).
+	if res.UpdateMsQuickSel <= 0 {
+		t.Error("QuickSel update time must be measured")
+	}
+	if s := res.String(); !strings.Contains(s, "Figure 5a") || !strings.Contains(s, "Figure 5b") {
+		t.Error("rendering must include both panels")
+	}
+}
+
+// TestFigure6Shape asserts §5.4: the analytic solver is faster than the
+// iterative one, increasingly so at larger n.
+func TestFigure6Shape(t *testing.T) {
+	res, err := RunFigure6(Figure6Config{Ns: []int{20, 60}, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Iterations <= 0 {
+			t.Errorf("n=%d: iterative solver reported no iterations", p.N)
+		}
+		if p.AnalyticMs <= 0 || p.IterativeMs <= 0 {
+			t.Errorf("n=%d: missing timings %+v", p.N, p)
+		}
+	}
+	// The iterative path must be slower at the larger size (the figure's
+	// whole point).
+	big := res.Points[len(res.Points)-1]
+	if big.IterativeMs <= big.AnalyticMs {
+		t.Errorf("iterative (%.2fms) should be slower than analytic (%.2fms) at n=%d",
+			big.IterativeMs, big.AnalyticMs, big.N)
+	}
+	if s := res.String(); !strings.Contains(s, "Figure 6") {
+		t.Error("rendering broken")
+	}
+}
+
+// TestFigure7aShape asserts errors stay low and stable across correlations.
+func TestFigure7aShape(t *testing.T) {
+	res, err := RunFigure7a(Figure7aConfig{
+		Correlations: []float64{0, 0.5, 1.0},
+		Rows:         10000, TrainQueries: 60, TestQueries: 60, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.RelErr > 0.6 {
+			t.Errorf("corr=%.1f: error %.1f%% too high", p.Correlation, p.RelErr*100)
+		}
+	}
+	if res.String() == "" {
+		t.Error("rendering broken")
+	}
+}
+
+// TestFigure7bShape asserts errors decrease with more observed queries for
+// every shift pattern, and no-shift is the easiest.
+func TestFigure7bShape(t *testing.T) {
+	res, err := RunFigure7b(Figure7bConfig{Rows: 10000, MaxN: 120, Step: 40, EvalBlock: 40, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byShift := map[workload.ShiftKind][]Figure7bPoint{}
+	for _, p := range res.Points {
+		byShift[p.Shift] = append(byShift[p.Shift], p)
+	}
+	for shift, pts := range byShift {
+		if len(pts) != 3 {
+			t.Fatalf("%v: %d points", shift, len(pts))
+		}
+		if pts[len(pts)-1].RelErr > pts[0].RelErr*2 {
+			t.Errorf("%v: error should not blow up with more queries: %v", shift, pts)
+		}
+	}
+	// No-shift repeats one query; its final error should be the smallest.
+	noShift := byShift[workload.NoShift][2].RelErr
+	random := byShift[workload.RandomShift][2].RelErr
+	if noShift > random+0.05 {
+		t.Errorf("no-shift (%.3f) should be no harder than random-shift (%.3f)", noShift, random)
+	}
+	if res.String() == "" {
+		t.Error("rendering broken")
+	}
+}
+
+// TestFigure7cShape asserts the paper's finding: very small budgets hurt,
+// and accuracy recovers by ~50 parameters.
+func TestFigure7cShape(t *testing.T) {
+	res, err := RunFigure7c(Figure7cConfig{
+		Params: []int{10, 50, 200},
+		Rows:   10000, TrainQueries: 100, TestQueries: 60, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	small, large := res.Points[0].RelErr, res.Points[2].RelErr
+	if large > small+0.02 {
+		t.Errorf("more parameters should not hurt: 10→%.3f, 200→%.3f", small, large)
+	}
+	if res.String() == "" {
+		t.Error("rendering broken")
+	}
+}
+
+// TestFigure7dShape asserts AutoHist degrades with dimension much faster
+// than QuickSel (the curse of dimensionality on grid histograms).
+func TestFigure7dShape(t *testing.T) {
+	res, err := RunFigure7d(Figure7dConfig{
+		Dims: []int{2, 6}, Rows: 8000, Budget: 500, Queries: 50, Seed: 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	lo, hi := res.Points[0], res.Points[1]
+	growthAH := hi.AutoHist - lo.AutoHist
+	growthQS := hi.QuickSel - lo.QuickSel
+	if growthAH <= growthQS {
+		t.Errorf("AutoHist should degrade faster with dimension: ΔAH=%.3f ΔQS=%.3f", growthAH, growthQS)
+	}
+	if res.String() == "" {
+		t.Error("rendering broken")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	lam, err := RunAblationLambda(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lam.Points) != 5 || lam.String() == "" {
+		t.Errorf("lambda ablation malformed: %d points", len(lam.Points))
+	}
+	// λ=1e6 (index 3) should beat λ=1 (index 0): consistency matters.
+	if lam.Points[3].RelErr > lam.Points[0].RelErr {
+		t.Errorf("high lambda (%.3f) should beat low lambda (%.3f)",
+			lam.Points[3].RelErr, lam.Points[0].RelErr)
+	}
+
+	pts, err := RunAblationPoints(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts.Points) != 6 {
+		t.Errorf("points ablation malformed")
+	}
+
+	cap, err := RunAblationCap(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cap.Points) != 5 {
+		t.Errorf("cap ablation malformed")
+	}
+
+	sol, err := RunAblationSolver(18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Points) != 2 {
+		t.Fatalf("solver ablation malformed")
+	}
+	if sol.Points[1].TrainMs <= sol.Points[0].TrainMs {
+		t.Errorf("iterative training (%.1fms) should be slower than analytic (%.1fms)",
+			sol.Points[1].TrainMs, sol.Points[0].TrainMs)
+	}
+}
+
+func TestAblationScaling(t *testing.T) {
+	res, err := RunAblationScaling(19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	published, incremental := res.Points[0], res.Points[1]
+	// Identical math: errors agree closely; the optimization is faster.
+	if math.Abs(published.RelErr-incremental.RelErr) > 0.02 {
+		t.Errorf("scaling variants disagree: %.3f vs %.3f", published.RelErr, incremental.RelErr)
+	}
+	if incremental.TrainMs >= published.TrainMs {
+		t.Errorf("incremental (%.1fms) should beat published (%.1fms)",
+			incremental.TrainMs, published.TrainMs)
+	}
+	if res.String() == "" {
+		t.Error("rendering broken")
+	}
+}
+
+// TestFigure5bScaling asserts the structural claim behind Figure 5b: the
+// scan-based rebuild cost grows with table size while QuickSel's retrain
+// cost does not.
+func TestFigure5bScaling(t *testing.T) {
+	res, err := RunFigure5bScaling([]int{5000, 80000}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	small, big := res.Points[0], res.Points[1]
+	if big.AutoHistMs <= small.AutoHistMs {
+		t.Errorf("AutoHist rebuild should scale with rows: %.3fms → %.3fms",
+			small.AutoHistMs, big.AutoHistMs)
+	}
+	// QuickSel's retrain is independent of table size (within noise).
+	if big.QuickSelMs > small.QuickSelMs*5+1 {
+		t.Errorf("QuickSel retrain should not scale with rows: %.3fms → %.3fms",
+			small.QuickSelMs, big.QuickSelMs)
+	}
+	if res.String() == "" {
+		t.Error("rendering broken")
+	}
+}
+
+func TestAblationMixture(t *testing.T) {
+	res, err := RunAblationMixture(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	umm, gmm := res.Points[0], res.Points[1]
+	if umm.RelErr > 0.5 || gmm.RelErr > 1.0 {
+		t.Errorf("mixture errors too high: UMM %.3f, GMM %.3f", umm.RelErr, gmm.RelErr)
+	}
+	if res.String() == "" {
+		t.Error("rendering broken")
+	}
+	t.Logf("UMM %.2f%% @ %.1fms vs GMM %.2f%% @ %.1fms",
+		umm.RelErr*100, umm.TrainMs, gmm.RelErr*100, gmm.TrainMs)
+}

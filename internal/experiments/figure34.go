@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"quicksel/internal/workload"
+)
+
+// SweepConfig drives Figures 3 and 4: every query-driven method is trained
+// on growing prefixes of the same observed-query stream and evaluated on a
+// shared held-out test set. One sweep yields:
+//
+//	Fig 3a/3d: #queries vs per-query time
+//	Fig 3b/3e: per-query time vs error
+//	Fig 3c/3f: error target vs time to reach it (derived)
+//	Fig 4a/4c: #queries vs #model parameters
+//	Fig 4b/4d: #parameters vs error
+type SweepConfig struct {
+	Dataset string // "dmv", "instacart", or "gaussian"
+	Rows    int    // 0 = 20_000
+	Ns      []int  // training sizes; nil = 10,20,...,60 (ISOMER's faithful
+	// iterative scaling grows superlinearly; pass larger Ns to extend)
+	Methods     []string // nil = AllQueryDriven
+	TestQueries int      // 0 = 100
+	Seed        int64
+}
+
+func (c SweepConfig) withDefaults() SweepConfig {
+	if c.Rows == 0 {
+		c.Rows = 20000
+	}
+	if len(c.Ns) == 0 {
+		for n := 10; n <= 60; n += 10 {
+			c.Ns = append(c.Ns, n)
+		}
+	}
+	if len(c.Methods) == 0 {
+		c.Methods = AllQueryDriven
+	}
+	if c.TestQueries == 0 {
+		c.TestQueries = 100
+	}
+	return c
+}
+
+// SweepResult is the full grid of measurements.
+type SweepResult struct {
+	Dataset string
+	Points  []MethodResult // one per (method, n)
+}
+
+// RunSweep executes the Figure 3/4 sweep.
+func RunSweep(cfg SweepConfig) (*SweepResult, error) {
+	cfg = cfg.withDefaults()
+	ds, _, err := DatasetByName(cfg.Dataset, cfg.Rows, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	maxN := 0
+	for _, n := range cfg.Ns {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	train := workload.Observe(ds, QueriesFor(ds, maxN, cfg.Seed+1))
+	test := workload.Observe(ds, QueriesFor(ds, cfg.TestQueries, cfg.Seed+2))
+	res := &SweepResult{Dataset: cfg.Dataset}
+	for _, method := range cfg.Methods {
+		for _, n := range cfg.Ns {
+			mr, err := RunMethod(method, ds.Schema.Dim(), train[:n], test, MethodOptions{Seed: cfg.Seed})
+			if err != nil {
+				return nil, fmt.Errorf("sweep %s n=%d: %w", method, n, err)
+			}
+			res.Points = append(res.Points, mr)
+		}
+	}
+	return res, nil
+}
+
+// ByMethod groups the sweep points per method, ordered by n.
+func (r *SweepResult) ByMethod() map[string][]MethodResult {
+	out := map[string][]MethodResult{}
+	for _, p := range r.Points {
+		out[p.Method] = append(out[p.Method], p)
+	}
+	for _, pts := range out {
+		sort.Slice(pts, func(i, j int) bool { return pts[i].N < pts[j].N })
+	}
+	return out
+}
+
+// TimeToReachError derives Figure 3c/3f: for each method, the minimum total
+// training time (ms) across the sweep that achieves mean relative error at
+// most target; +Inf if never reached.
+func (r *SweepResult) TimeToReachError(target float64) map[string]float64 {
+	out := map[string]float64{}
+	for method, pts := range r.ByMethod() {
+		best := math.Inf(1)
+		for _, p := range pts {
+			if p.RelErr <= target && p.TrainMs < best {
+				best = p.TrainMs
+			}
+		}
+		out[method] = best
+	}
+	return out
+}
+
+// String renders the sweep as the paper's figure series: per-query time,
+// parameter growth, and error per method and n.
+func (r *SweepResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figures 3/4 sweep — dataset: %s\n", r.Dataset)
+	header := []string{"Method", "N", "Params", "PerQuery(ms)", "Train(ms)", "RelErr", "AbsErr"}
+	var rows [][]string
+	grouped := r.ByMethod()
+	for _, method := range sortedKeys(grouped) {
+		for _, p := range grouped[method] {
+			rows = append(rows, []string{
+				p.Method,
+				fmt.Sprintf("%d", p.N),
+				fmt.Sprintf("%d", p.Params),
+				fmt.Sprintf("%.3f", p.PerQueryMs),
+				fmt.Sprintf("%.1f", p.TrainMs),
+				fmt.Sprintf("%.1f%%", p.RelErr*100),
+				fmt.Sprintf("%.4f", p.AbsErr),
+			})
+		}
+	}
+	sb.WriteString(renderTable(header, rows))
+
+	// Fig 3c/3f derivation at a few error targets.
+	sb.WriteString("\nFig 3c/3f — min training time (ms) to reach error target\n")
+	targets := []float64{0.30, 0.20, 0.15, 0.10}
+	header = []string{"Method"}
+	for _, t := range targets {
+		header = append(header, fmt.Sprintf("<=%.0f%%", t*100))
+	}
+	rows = rows[:0]
+	for _, method := range sortedKeys(grouped) {
+		row := []string{method}
+		for _, t := range targets {
+			v := r.TimeToReachError(t)[method]
+			if math.IsInf(v, 1) {
+				row = append(row, "n/a")
+			} else {
+				row = append(row, fmt.Sprintf("%.1f", v))
+			}
+		}
+		rows = append(rows, row)
+	}
+	sb.WriteString(renderTable(header, rows))
+	return sb.String()
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"quicksel/internal/core"
+	"quicksel/internal/geom"
+	"quicksel/internal/workload"
+)
+
+// Figure6Config drives the optimizer-efficiency comparison of Figure 6 and
+// §5.4: solving QuickSel's training problem with a standard iterative QP
+// versus the analytic closed form, as the number of observed queries grows.
+// The paper sweeps n up to 1,000 (m up to 4,000); defaults stop at 300
+// because the dense m×m solve grows cubically — pass larger Ns to extend.
+type Figure6Config struct {
+	Ns   []int // nil = 50,100,150,200,250,300
+	Seed int64
+}
+
+func (c Figure6Config) withDefaults() Figure6Config {
+	if len(c.Ns) == 0 {
+		c.Ns = []int{50, 100, 150, 200, 250, 300}
+	}
+	return c
+}
+
+// Figure6Point compares solver runtimes at one workload size.
+type Figure6Point struct {
+	N           int     // observed queries
+	Params      int     // subpopulations (m)
+	AnalyticMs  float64 // QuickSel's QP (Problem 3, closed form)
+	IterativeMs float64 // standard iterative QP
+	Iterations  int     // iterations the iterative solver needed
+}
+
+// Figure6Result is the Figure 6 series.
+type Figure6Result struct {
+	Points []Figure6Point
+}
+
+// RunFigure6 builds identical models per n and times both solvers on the
+// same observations.
+func RunFigure6(cfg Figure6Config) (*Figure6Result, error) {
+	cfg = cfg.withDefaults()
+	ds, err := workload.NewGaussian(workload.GaussianConfig{Dim: 2, Corr: 0.5, Rows: 20000, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	maxN := 0
+	for _, n := range cfg.Ns {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	obs := workload.Observe(ds, workload.GaussianQueries(ds.Schema, maxN, workload.RandomShift, cfg.Seed+1))
+
+	res := &Figure6Result{}
+	for _, n := range cfg.Ns {
+		point := Figure6Point{N: n}
+		for _, iterative := range []bool{false, true} {
+			m, err := core.New(core.Config{Dim: 2, Seed: cfg.Seed + 2, UseIterativeSolver: iterative})
+			if err != nil {
+				return nil, err
+			}
+			for _, o := range obs[:n] {
+				if err := m.Observe(o.Query.Box(), o.Sel); err != nil {
+					return nil, err
+				}
+			}
+			start := time.Now()
+			if err := m.Train(); err != nil {
+				return nil, err
+			}
+			elapsed := float64(time.Since(start).Nanoseconds()) / 1e6
+			if iterative {
+				point.IterativeMs = elapsed
+				point.Iterations = m.SolverIterations()
+			} else {
+				point.AnalyticMs = elapsed
+				point.Params = m.ParamCount()
+			}
+			// Sanity: both paths must produce a usable model.
+			if _, err := m.Estimate(geom.Unit(2)); err != nil {
+				return nil, err
+			}
+		}
+		res.Points = append(res.Points, point)
+	}
+	return res, nil
+}
+
+// String renders the Figure 6 series.
+func (r *Figure6Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 6 — standard (iterative) QP vs QuickSel's analytic QP\n")
+	var rows [][]string
+	for _, p := range r.Points {
+		speedup := "n/a"
+		if p.AnalyticMs > 0 {
+			speedup = fmt.Sprintf("%.1fx", p.IterativeMs/p.AnalyticMs)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.N),
+			fmt.Sprintf("%d", p.Params),
+			fmt.Sprintf("%.1f", p.AnalyticMs),
+			fmt.Sprintf("%.1f", p.IterativeMs),
+			fmt.Sprintf("%d", p.Iterations),
+			speedup,
+		})
+	}
+	sb.WriteString(renderTable(
+		[]string{"N", "Params", "Analytic(ms)", "Iterative(ms)", "Iters", "Speedup"}, rows))
+	return sb.String()
+}

@@ -1,0 +1,324 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"quicksel/internal/core"
+	"quicksel/internal/sample"
+	"quicksel/internal/scanhist"
+	"quicksel/internal/stats"
+	"quicksel/internal/workload"
+)
+
+// --- Figure 7a: data correlation ---
+
+// Figure7aConfig sweeps the correlation of the 2-dim Gaussian dataset.
+type Figure7aConfig struct {
+	Correlations []float64 // nil = 0, 0.2, 0.4, 0.6, 0.8, 1.0
+	Rows         int       // 0 = 50_000
+	TrainQueries int       // 0 = 100
+	TestQueries  int       // 0 = 100
+	Seed         int64
+}
+
+// Figure7aPoint is QuickSel's error at one correlation level.
+type Figure7aPoint struct {
+	Correlation float64
+	RelErr      float64
+}
+
+// Figure7aResult is the Figure 7a series.
+type Figure7aResult struct{ Points []Figure7aPoint }
+
+// RunFigure7a trains QuickSel on 100 queries per correlation level and
+// reports held-out error ("the errors remained almost identical across all
+// different degrees of correlation").
+func RunFigure7a(cfg Figure7aConfig) (*Figure7aResult, error) {
+	if len(cfg.Correlations) == 0 {
+		cfg.Correlations = []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+	}
+	if cfg.Rows == 0 {
+		cfg.Rows = 50000
+	}
+	if cfg.TrainQueries == 0 {
+		cfg.TrainQueries = 100
+	}
+	if cfg.TestQueries == 0 {
+		cfg.TestQueries = 100
+	}
+	res := &Figure7aResult{}
+	for _, corr := range cfg.Correlations {
+		ds, err := workload.NewGaussian(workload.GaussianConfig{Dim: 2, Corr: corr, Rows: cfg.Rows, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		// Data-centered queries: at high correlation the mass lives on a
+		// thin diagonal, and workloads that never hit it would make every
+		// method's relative error meaningless (truth ≈ 0 almost surely).
+		train := workload.Observe(ds, workload.DataCenteredQueries(ds, cfg.TrainQueries, 0.10, 0.40, cfg.Seed+1))
+		test := workload.Observe(ds, workload.DataCenteredQueries(ds, cfg.TestQueries, 0.10, 0.40, cfg.Seed+2))
+		mr, err := RunMethod(MethodQuickSel, 2, train, test, MethodOptions{Seed: cfg.Seed + 3})
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, Figure7aPoint{Correlation: corr, RelErr: mr.RelErr})
+	}
+	return res, nil
+}
+
+// String renders the Figure 7a series.
+func (r *Figure7aResult) String() string {
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{fmt.Sprintf("%.1f", p.Correlation), fmt.Sprintf("%.2f%%", p.RelErr*100)})
+	}
+	return "Figure 7a — data correlation vs QuickSel error\n" +
+		renderTable([]string{"Correlation", "RelErr"}, rows)
+}
+
+// --- Figure 7b: workload shifts ---
+
+// Figure7bConfig sweeps the three workload-shift patterns.
+type Figure7bConfig struct {
+	Rows      int   // 0 = 50_000
+	MaxN      int   // largest training prefix; 0 = 300
+	Step      int   // training prefix step; 0 = 50
+	EvalBlock int   // held-out queries per checkpoint; 0 = 50
+	Seed      int64 // base seed
+}
+
+// Figure7bPoint is one (shift pattern, #observed) error measurement.
+type Figure7bPoint struct {
+	Shift  workload.ShiftKind
+	N      int
+	RelErr float64
+}
+
+// Figure7bResult is the Figure 7b series.
+type Figure7bResult struct{ Points []Figure7bPoint }
+
+// RunFigure7b reproduces the workload-shift experiment: train on the first
+// n queries of each shifted stream, evaluate on the next EvalBlock queries
+// of the same stream (the paper's protocol).
+func RunFigure7b(cfg Figure7bConfig) (*Figure7bResult, error) {
+	if cfg.Rows == 0 {
+		cfg.Rows = 50000
+	}
+	if cfg.MaxN == 0 {
+		cfg.MaxN = 300
+	}
+	if cfg.Step == 0 {
+		cfg.Step = 50
+	}
+	if cfg.EvalBlock == 0 {
+		cfg.EvalBlock = 50
+	}
+	ds, err := workload.NewGaussian(workload.GaussianConfig{Dim: 2, Corr: 0.5, Rows: cfg.Rows, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure7bResult{}
+	for _, shift := range []workload.ShiftKind{workload.SlidingShift, workload.RandomShift, workload.NoShift} {
+		stream := workload.Observe(ds, workload.GaussianQueries(ds.Schema, cfg.MaxN+cfg.EvalBlock, shift, cfg.Seed+1))
+		for n := cfg.Step; n <= cfg.MaxN; n += cfg.Step {
+			train := stream[:n]
+			test := stream[n : n+cfg.EvalBlock]
+			mr, err := RunMethod(MethodQuickSel, 2, train, test, MethodOptions{Seed: cfg.Seed + 2})
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, Figure7bPoint{Shift: shift, N: n, RelErr: mr.RelErr})
+		}
+	}
+	return res, nil
+}
+
+// String renders the Figure 7b series.
+func (r *Figure7bResult) String() string {
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{p.Shift.String(), fmt.Sprintf("%d", p.N), fmt.Sprintf("%.2f%%", p.RelErr*100)})
+	}
+	return "Figure 7b — workload shifts vs QuickSel error\n" +
+		renderTable([]string{"Shift", "N", "RelErr"}, rows)
+}
+
+// --- Figure 7c: model parameter count ---
+
+// Figure7cConfig sweeps QuickSel's (fixed) parameter count.
+type Figure7cConfig struct {
+	Params       []int // nil = 10, 25, 50, 100, 200, 400, 800
+	Rows         int   // 0 = 50_000
+	TrainQueries int   // 0 = 200
+	TestQueries  int   // 0 = 100
+	Seed         int64
+}
+
+// Figure7cPoint is QuickSel's error at one parameter budget.
+type Figure7cPoint struct {
+	Params int
+	RelErr float64
+}
+
+// Figure7cResult is the Figure 7c series.
+type Figure7cResult struct{ Points []Figure7cPoint }
+
+// RunFigure7c disables the default m = 4n rule and pins the subpopulation
+// count, as in §5.6 ("Model Parameter Count").
+func RunFigure7c(cfg Figure7cConfig) (*Figure7cResult, error) {
+	if len(cfg.Params) == 0 {
+		cfg.Params = []int{10, 25, 50, 100, 200, 400, 800}
+	}
+	if cfg.Rows == 0 {
+		cfg.Rows = 50000
+	}
+	if cfg.TrainQueries == 0 {
+		cfg.TrainQueries = 200
+	}
+	if cfg.TestQueries == 0 {
+		cfg.TestQueries = 100
+	}
+	ds, err := workload.NewGaussian(workload.GaussianConfig{Dim: 2, Corr: 0.5, Rows: cfg.Rows, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	train := workload.Observe(ds, workload.GaussianQueries(ds.Schema, cfg.TrainQueries, workload.RandomShift, cfg.Seed+1))
+	test := workload.Observe(ds, workload.GaussianQueries(ds.Schema, cfg.TestQueries, workload.RandomShift, cfg.Seed+2))
+	res := &Figure7cResult{}
+	for _, params := range cfg.Params {
+		mr, err := RunMethod(MethodQuickSel, 2, train, test, MethodOptions{Seed: cfg.Seed + 3, FixedParams: params})
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, Figure7cPoint{Params: params, RelErr: mr.RelErr})
+	}
+	return res, nil
+}
+
+// String renders the Figure 7c series.
+func (r *Figure7cResult) String() string {
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{fmt.Sprintf("%d", p.Params), fmt.Sprintf("%.2f%%", p.RelErr*100)})
+	}
+	return "Figure 7c — model parameter count vs QuickSel error\n" +
+		renderTable([]string{"Params", "RelErr"}, rows)
+}
+
+// --- Figure 7d: data dimension ---
+
+// Figure7dConfig sweeps the dataset dimensionality and compares QuickSel
+// against the scan-based baselines at a fixed budget.
+type Figure7dConfig struct {
+	Dims    []int // nil = 1, 2, 4, 6, 8, 10
+	Rows    int   // 0 = 30_000
+	Budget  int   // parameter budget / sample size / queries; 0 = 1000
+	Queries int   // test queries; 0 = 100
+	Seed    int64
+}
+
+// Figure7dPoint compares the three methods at one dimensionality.
+type Figure7dPoint struct {
+	Dim        int
+	AutoHist   float64
+	AutoSample float64
+	QuickSel   float64
+}
+
+// Figure7dResult is the Figure 7d series.
+type Figure7dResult struct{ Points []Figure7dPoint }
+
+// RunFigure7d reproduces §5.6 "Data Dimension": AutoHist with Budget
+// buckets, AutoSample with Budget rows, QuickSel trained on Budget observed
+// queries, per dimension.
+func RunFigure7d(cfg Figure7dConfig) (*Figure7dResult, error) {
+	if len(cfg.Dims) == 0 {
+		cfg.Dims = []int{1, 2, 4, 6, 8, 10}
+	}
+	if cfg.Rows == 0 {
+		cfg.Rows = 30000
+	}
+	if cfg.Budget == 0 {
+		cfg.Budget = 1000
+	}
+	if cfg.Queries == 0 {
+		cfg.Queries = 100
+	}
+	res := &Figure7dResult{}
+	for _, dim := range cfg.Dims {
+		ds, err := workload.NewGaussian(workload.GaussianConfig{Dim: dim, Corr: 0.4, Rows: cfg.Rows, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		// Training queries for QuickSel: the paper gives it Budget observed
+		// queries; cap at 250 to keep the m×m solve laptop-sized while
+		// preserving the comparison (QuickSel's accuracy saturates, §5.6).
+		// Queries are data-centered with wide per-dimension windows so high-
+		// dimensional truths stay meaningfully above zero (see DESIGN.md §3).
+		nTrain := cfg.Budget
+		if nTrain > 250 {
+			nTrain = 250
+		}
+		minW := 0.20 + 0.03*float64(dim)
+		maxW := minW + 0.30
+		train := workload.Observe(ds, workload.DataCenteredQueries(ds, nTrain, minW, maxW, cfg.Seed+1))
+		test := workload.Observe(ds, workload.DataCenteredQueries(ds, cfg.Queries, minW, maxW, cfg.Seed+2))
+
+		hist, err := scanhist.New(ds.Table, scanhist.Config{Buckets: cfg.Budget})
+		if err != nil {
+			return nil, err
+		}
+		smp, err := sample.New(ds.Table, sample.Config{Size: cfg.Budget, Seed: cfg.Seed + 3})
+		if err != nil {
+			return nil, err
+		}
+		qs, err := core.New(core.Config{Dim: dim, Seed: cfg.Seed + 4})
+		if err != nil {
+			return nil, err
+		}
+		for _, o := range train {
+			if err := qs.Observe(o.Query.Box(), o.Sel); err != nil {
+				return nil, err
+			}
+		}
+		if err := qs.Train(); err != nil {
+			return nil, err
+		}
+
+		var eAH, eAS, eQS stats.Summary
+		for _, o := range test {
+			b := o.Query.Box()
+			if est, err := hist.Estimate(b); err == nil {
+				eAH.Add(stats.RelativeError(o.Sel, est))
+			}
+			if est, err := smp.Estimate(b); err == nil {
+				eAS.Add(stats.RelativeError(o.Sel, est))
+			}
+			if est, err := qs.Estimate(b); err == nil {
+				eQS.Add(stats.RelativeError(o.Sel, est))
+			}
+		}
+		res.Points = append(res.Points, Figure7dPoint{
+			Dim: dim, AutoHist: eAH.Mean(), AutoSample: eAS.Mean(), QuickSel: eQS.Mean(),
+		})
+	}
+	return res, nil
+}
+
+// String renders the Figure 7d series.
+func (r *Figure7dResult) String() string {
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Dim),
+			fmt.Sprintf("%.1f%%", p.AutoHist*100),
+			fmt.Sprintf("%.1f%%", p.AutoSample*100),
+			fmt.Sprintf("%.1f%%", p.QuickSel*100),
+		})
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 7d — data dimension vs error (AutoHist / AutoSample / QuickSel)\n")
+	sb.WriteString(renderTable([]string{"Dim", "AutoHist", "AutoSample", "QuickSel"}, rows))
+	return sb.String()
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"quicksel/internal/workload"
+)
+
+// Table3Config parameterizes the headline comparison of Table 3: ISOMER vs
+// QuickSel on DMV and Instacart. The paper trains ISOMER on few queries
+// (it is slow) and QuickSel on many (it is fast), then compares time at
+// similar error (3a) and error at similar time (3b). Row counts and query
+// counts are scaled from the paper's (11.9M rows, 700 queries) to
+// laptop-scale defaults; override via the fields.
+type Table3Config struct {
+	Rows            int   // rows per synthetic dataset (0 = 20_000)
+	ISOMERQueriesA  int   // ISOMER training queries for 3a (0 = 100)
+	QuickSelQueries int   // QuickSel training queries (0 = 300)
+	ISOMERQueriesB  int   // ISOMER training queries for 3b (0 = 40)
+	TestQueries     int   // held-out queries (0 = 100)
+	Seed            int64 // base seed
+}
+
+func (c Table3Config) withDefaults() Table3Config {
+	if c.Rows == 0 {
+		c.Rows = 20000
+	}
+	if c.ISOMERQueriesA == 0 {
+		c.ISOMERQueriesA = 100
+	}
+	if c.QuickSelQueries == 0 {
+		c.QuickSelQueries = 300
+	}
+	if c.ISOMERQueriesB == 0 {
+		c.ISOMERQueriesB = 40
+	}
+	if c.TestQueries == 0 {
+		c.TestQueries = 100
+	}
+	return c
+}
+
+// Table3Row is one line of Table 3.
+type Table3Row struct {
+	Dataset string
+	Method  string
+	Queries int
+	Params  int
+	RelErr  float64 // fraction (Table 3a metric)
+	AbsErr  float64 // Table 3b metric
+	TotalMs float64
+	PerQMs  float64
+}
+
+// Table3Result holds both halves of Table 3.
+type Table3Result struct {
+	Efficiency []Table3Row // Table 3a: time for similar error
+	Accuracy   []Table3Row // Table 3b: error for similar time
+	// SpeedupByDataset is Table 3a's headline: ISOMER per-query time over
+	// QuickSel per-query time.
+	SpeedupByDataset map[string]float64
+	// ErrorReductionByDataset is Table 3b's headline: relative reduction of
+	// absolute error, (ISOMER − QuickSel) / ISOMER.
+	ErrorReductionByDataset map[string]float64
+}
+
+// RunTable3 executes the Table 3 experiment on both datasets.
+func RunTable3(cfg Table3Config) (*Table3Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Table3Result{
+		SpeedupByDataset:        map[string]float64{},
+		ErrorReductionByDataset: map[string]float64{},
+	}
+	for _, dataset := range []string{"dmv", "instacart"} {
+		ds, _, err := DatasetByName(dataset, cfg.Rows, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		train := workload.Observe(ds, QueriesFor(ds, cfg.QuickSelQueries, cfg.Seed+1))
+		test := workload.Observe(ds, QueriesFor(ds, cfg.TestQueries, cfg.Seed+2))
+		dim := ds.Schema.Dim()
+
+		// Table 3a rows.
+		iso, err := RunMethod(MethodISOMER, dim, train[:cfg.ISOMERQueriesA], test, MethodOptions{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		qs, err := RunMethod(MethodQuickSel, dim, train, test, MethodOptions{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		res.Efficiency = append(res.Efficiency,
+			toTable3Row(dataset, iso), toTable3Row(dataset, qs))
+		if qs.PerQueryMs > 0 {
+			res.SpeedupByDataset[dataset] = iso.PerQueryMs / qs.PerQueryMs
+		}
+
+		// Table 3b rows: ISOMER constrained to a small query budget so its
+		// training time is comparable to QuickSel's full run.
+		isoB, err := RunMethod(MethodISOMER, dim, train[:cfg.ISOMERQueriesB], test, MethodOptions{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		res.Accuracy = append(res.Accuracy,
+			toTable3Row(dataset, isoB), toTable3Row(dataset, qs))
+		if isoB.AbsErr > 0 {
+			res.ErrorReductionByDataset[dataset] = (isoB.AbsErr - qs.AbsErr) / isoB.AbsErr
+		}
+	}
+	return res, nil
+}
+
+func toTable3Row(dataset string, r MethodResult) Table3Row {
+	return Table3Row{
+		Dataset: dataset,
+		Method:  r.Method,
+		Queries: r.N,
+		Params:  r.Params,
+		RelErr:  r.RelErr,
+		AbsErr:  r.AbsErr,
+		TotalMs: r.TrainMs,
+		PerQMs:  r.PerQueryMs,
+	}
+}
+
+// String renders both halves of Table 3.
+func (r *Table3Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Table 3a — efficiency comparison for similar errors\n")
+	rows := make([][]string, 0, len(r.Efficiency))
+	for _, row := range r.Efficiency {
+		rows = append(rows, []string{
+			row.Dataset, row.Method,
+			fmt.Sprintf("%d", row.Queries),
+			fmt.Sprintf("%d", row.Params),
+			fmt.Sprintf("%.2f%%", row.RelErr*100),
+			fmt.Sprintf("%.2f ms", row.PerQMs),
+		})
+	}
+	sb.WriteString(renderTable(
+		[]string{"Dataset", "Method", "#Queries", "#Params", "RelErr", "PerQueryTime"}, rows))
+	for _, ds := range sortedKeys(r.SpeedupByDataset) {
+		fmt.Fprintf(&sb, "speedup (%s): %.1fx\n", ds, r.SpeedupByDataset[ds])
+	}
+
+	sb.WriteString("\nTable 3b — accuracy comparison for similar training time\n")
+	rows = rows[:0]
+	for _, row := range r.Accuracy {
+		rows = append(rows, []string{
+			row.Dataset, row.Method,
+			fmt.Sprintf("%d", row.Queries),
+			fmt.Sprintf("%d", row.Params),
+			fmt.Sprintf("%.4f", row.AbsErr),
+			fmt.Sprintf("%.1f ms", row.TotalMs),
+		})
+	}
+	sb.WriteString(renderTable(
+		[]string{"Dataset", "Method", "#Queries", "#Params", "AbsErr", "TrainTime"}, rows))
+	for _, ds := range sortedKeys(r.ErrorReductionByDataset) {
+		fmt.Fprintf(&sb, "error reduction (%s): %.1f%%\n", ds, r.ErrorReductionByDataset[ds]*100)
+	}
+	return sb.String()
+}

@@ -1,0 +1,152 @@
+// Package join prototypes the paper's "Join Selectivity Learning" future
+// work (§8), built on the observation of §2.2: a single-relation
+// selectivity estimator extends to joins whenever the per-relation
+// predicates are independent of the join conditions. Under that assumption
+//
+//	|σ_p(R) ⋈ σ_q(S)|        |R ⋈ S|
+//	-----------------  ≈  ρ · sel_R(p) · sel_S(q),   ρ = --------
+//	     |R|·|S|                                          |R|·|S|
+//
+// where ρ is the join-key correlation factor. The estimator keeps one
+// QuickSel model per side for sel_R and sel_S and learns ρ from executed
+// join queries the same way QuickSel learns filters: every observed join
+// contributes the ratio of its actual selectivity to the product of its
+// per-side selectivities, and ρ is their running mean.
+package join
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"quicksel/internal/core"
+	"quicksel/internal/geom"
+)
+
+// Side names one input of the join.
+type Side int
+
+const (
+	// Left is the R side.
+	Left Side = iota
+	// Right is the S side.
+	Right
+)
+
+// Estimator learns equi-join selectivities over two relations.
+type Estimator struct {
+	left  *core.Model
+	right *core.Model
+
+	ratioSum float64
+	ratioN   int
+}
+
+// New returns a join estimator for relations of the given (normalized)
+// dimensionalities.
+func New(leftDim, rightDim int, seed int64) (*Estimator, error) {
+	l, err := core.New(core.Config{Dim: leftDim, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	r, err := core.New(core.Config{Dim: rightDim, Seed: seed + 1})
+	if err != nil {
+		return nil, err
+	}
+	return &Estimator{left: l, right: r}, nil
+}
+
+// ObserveFilter feeds per-relation filter feedback into the named side's
+// model, exactly as the single-table estimator would.
+func (e *Estimator) ObserveFilter(side Side, box geom.Box, sel float64) error {
+	switch side {
+	case Left:
+		return e.left.Observe(box, sel)
+	case Right:
+		return e.right.Observe(box, sel)
+	default:
+		return fmt.Errorf("join: unknown side %d", side)
+	}
+}
+
+// ObserveJoin feeds back one executed join query: the per-side predicate
+// boxes, the actual per-side selectivities (known from executing the
+// sides), and the actual join selectivity |σ(R) ⋈ σ(S)| / (|R|·|S|).
+// The per-side observations refine the filter models; the ratio refines ρ.
+func (e *Estimator) ObserveJoin(leftBox, rightBox geom.Box, leftSel, rightSel, joinSel float64) error {
+	if math.IsNaN(joinSel) || joinSel < 0 {
+		return errors.New("join: invalid join selectivity")
+	}
+	if err := e.left.Observe(leftBox, leftSel); err != nil {
+		return err
+	}
+	if err := e.right.Observe(rightBox, rightSel); err != nil {
+		return err
+	}
+	// ρ sample: actual join selectivity over the independent product. Skip
+	// degenerate observations where a side selected (almost) nothing — the
+	// ratio is unidentified there.
+	const minSide = 1e-9
+	if leftSel > minSide && rightSel > minSide {
+		e.ratioSum += joinSel / (leftSel * rightSel)
+		e.ratioN++
+	}
+	return nil
+}
+
+// Ratio returns the learned join-key correlation factor ρ; before any join
+// feedback it is 0 (unknown).
+func (e *Estimator) Ratio() float64 {
+	if e.ratioN == 0 {
+		return 0
+	}
+	return e.ratioSum / float64(e.ratioN)
+}
+
+// NumJoinObservations reports how many join feedback records contributed
+// to ρ.
+func (e *Estimator) NumJoinObservations() int { return e.ratioN }
+
+// Train fits both per-side models.
+func (e *Estimator) Train() error {
+	if err := e.left.Train(); err != nil {
+		return err
+	}
+	return e.right.Train()
+}
+
+// EstimateJoin predicts |σ(R) ⋈ σ(S)| / (|R|·|S|) for new per-side
+// predicate boxes. It returns an error before any join has been observed
+// (ρ is unknown until then, exactly as a cold-start optimizer lacks join
+// statistics).
+func (e *Estimator) EstimateJoin(leftBox, rightBox geom.Box) (float64, error) {
+	if e.ratioN == 0 {
+		return 0, errors.New("join: no join feedback observed yet")
+	}
+	ls, err := e.left.Estimate(leftBox)
+	if err != nil {
+		return 0, err
+	}
+	rs, err := e.right.Estimate(rightBox)
+	if err != nil {
+		return 0, err
+	}
+	est := e.Ratio() * ls * rs
+	if est < 0 {
+		est = 0
+	}
+	if est > 1 {
+		est = 1
+	}
+	return est, nil
+}
+
+// EstimateCardinality converts the fractional estimate to an expected
+// output row count for relations of the given sizes.
+func (e *Estimator) EstimateCardinality(leftBox, rightBox geom.Box, leftRows, rightRows int) (float64, error) {
+	sel, err := e.EstimateJoin(leftBox, rightBox)
+	if err != nil {
+		return 0, err
+	}
+	return sel * float64(leftRows) * float64(rightRows), nil
+}

@@ -1,0 +1,193 @@
+package join
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quicksel/internal/geom"
+)
+
+// joinFixture simulates two relations sharing an integer join key and
+// computes exact join selectivities so the estimator can be validated
+// end to end.
+type joinFixture struct {
+	// left rows: (key, attr); right rows: (key, attr). attr ∈ [0,1).
+	leftKeys, rightKeys   []int
+	leftAttrs, rightAttrs []float64
+	numKeys               int
+}
+
+func newFixture(rows, numKeys int, seed int64) *joinFixture {
+	rng := rand.New(rand.NewSource(seed))
+	f := &joinFixture{numKeys: numKeys}
+	for i := 0; i < rows; i++ {
+		// Skewed key distribution (low keys more frequent on both sides →
+		// positively correlated join keys, ρ > 1).
+		f.leftKeys = append(f.leftKeys, int(float64(numKeys)*math.Pow(rng.Float64(), 2)))
+		f.leftAttrs = append(f.leftAttrs, rng.Float64())
+		f.rightKeys = append(f.rightKeys, int(float64(numKeys)*math.Pow(rng.Float64(), 2)))
+		f.rightAttrs = append(f.rightAttrs, rng.Float64())
+	}
+	return f
+}
+
+// sideSel returns the fraction of a side's rows with attr in [lo, hi).
+func (f *joinFixture) sideSel(left bool, lo, hi float64) float64 {
+	attrs := f.rightAttrs
+	if left {
+		attrs = f.leftAttrs
+	}
+	count := 0
+	for _, a := range attrs {
+		if a >= lo && a < hi {
+			count++
+		}
+	}
+	return float64(count) / float64(len(attrs))
+}
+
+// joinSel returns |σ(R) ⋈ σ(S)| / (|R|·|S|) for attr filters on each side.
+func (f *joinFixture) joinSel(lLo, lHi, rLo, rHi float64) float64 {
+	// Histogram the filtered keys per side, then multiply per key.
+	lCount := make([]int, f.numKeys+1)
+	rCount := make([]int, f.numKeys+1)
+	for i, k := range f.leftKeys {
+		if f.leftAttrs[i] >= lLo && f.leftAttrs[i] < lHi {
+			lCount[k]++
+		}
+	}
+	for i, k := range f.rightKeys {
+		if f.rightAttrs[i] >= rLo && f.rightAttrs[i] < rHi {
+			rCount[k]++
+		}
+	}
+	var matches float64
+	for k := 0; k <= f.numKeys; k++ {
+		matches += float64(lCount[k]) * float64(rCount[k])
+	}
+	return matches / (float64(len(f.leftKeys)) * float64(len(f.rightKeys)))
+}
+
+func box1(lo, hi float64) geom.Box { return geom.NewBox([]float64{lo}, []float64{hi}) }
+
+func TestColdStartErrors(t *testing.T) {
+	e, err := New(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.EstimateJoin(box1(0, 1), box1(0, 1)); err == nil {
+		t.Error("expected cold-start error before any join feedback")
+	}
+	if e.Ratio() != 0 {
+		t.Error("ratio should be unknown before feedback")
+	}
+}
+
+func TestObserveFilterSides(t *testing.T) {
+	e, err := New(1, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ObserveFilter(Left, box1(0, 0.5), 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ObserveFilter(Right, box1(0, 0.5), 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ObserveFilter(Side(9), box1(0, 1), 0.5); err == nil {
+		t.Error("expected unknown-side error")
+	}
+}
+
+func TestObserveJoinValidation(t *testing.T) {
+	e, err := New(1, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ObserveJoin(box1(0, 1), box1(0, 1), 1, 1, math.NaN()); err == nil {
+		t.Error("expected NaN error")
+	}
+	if err := e.ObserveJoin(box1(0, 1), box1(0, 1), 1, 1, -0.5); err == nil {
+		t.Error("expected negative error")
+	}
+	// Degenerate side selectivities do not poison the ratio.
+	if err := e.ObserveJoin(box1(0, 1), box1(0, 1), 0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if e.NumJoinObservations() != 0 {
+		t.Error("degenerate observation must not count toward the ratio")
+	}
+}
+
+func TestLearnsJoinSelectivity(t *testing.T) {
+	f := newFixture(4000, 50, 4)
+	e, err := New(1, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	randRange := func() (float64, float64) {
+		lo := rng.Float64() * 0.6
+		return lo, lo + 0.2 + rng.Float64()*0.3
+	}
+	// Observe 60 executed joins with filters on both sides.
+	for i := 0; i < 60; i++ {
+		lLo, lHi := randRange()
+		rLo, rHi := randRange()
+		err := e.ObserveJoin(
+			box1(lLo, lHi), box1(rLo, rHi),
+			f.sideSel(true, lLo, lHi), f.sideSel(false, rLo, rHi),
+			f.joinSel(lLo, lHi, rLo, rHi),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Train(); err != nil {
+		t.Fatal(err)
+	}
+	// The skewed keys make ρ > the independent-uniform 1/numKeys baseline.
+	if e.Ratio() <= 1.0/50 {
+		t.Errorf("learned ratio %g should exceed the uniform-key baseline %g", e.Ratio(), 1.0/50)
+	}
+
+	// Held-out join queries: learned estimates must beat the naive
+	// uniform-key independence estimate (sel_l · sel_r / numKeys).
+	var errLearned, errNaive float64
+	const tests = 40
+	for i := 0; i < tests; i++ {
+		lLo, lHi := randRange()
+		rLo, rHi := randRange()
+		truth := f.joinSel(lLo, lHi, rLo, rHi)
+		got, err := e.EstimateJoin(box1(lLo, lHi), box1(rLo, rHi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive := f.sideSel(true, lLo, lHi) * f.sideSel(false, rLo, rHi) / 50
+		errLearned += math.Abs(truth - got)
+		errNaive += math.Abs(truth - naive)
+	}
+	t.Logf("learned err %.6f vs naive err %.6f (ratio=%.4f)", errLearned/tests, errNaive/tests, e.Ratio())
+	if errLearned >= errNaive {
+		t.Errorf("learned join estimates (%.6f) should beat naive independence (%.6f)",
+			errLearned/tests, errNaive/tests)
+	}
+}
+
+func TestEstimateCardinality(t *testing.T) {
+	e, err := New(1, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ObserveJoin(box1(0, 1), box1(0, 1), 1, 1, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	card, err := e.EstimateCardinality(box1(0, 1), box1(0, 1), 1000, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(card-0.01*1000*2000) > 0.05*1000*2000 {
+		t.Errorf("cardinality = %g, want ≈20000", card)
+	}
+}

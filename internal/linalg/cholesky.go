@@ -1,0 +1,122 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cholesky holds the lower-triangular factor L of an SPD matrix M = L·Lᵀ.
+type Cholesky struct {
+	n int
+	l []float64 // row-major lower triangle, full n×n storage
+}
+
+// NewCholesky factors the symmetric positive-definite matrix m. It returns
+// ErrNotSPD if a pivot is non-positive at working precision. The input is
+// not modified.
+func NewCholesky(m *Matrix) (*Cholesky, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("linalg: Cholesky of non-square %d×%d matrix", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	l := make([]float64, n*n)
+	copy(l, m.Data)
+	for j := 0; j < n; j++ {
+		// Diagonal pivot: l_jj = sqrt(m_jj - Σ_k<j l_jk²).
+		d := l[j*n+j]
+		for k := 0; k < j; k++ {
+			d -= l[j*n+k] * l[j*n+k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotSPD
+		}
+		d = math.Sqrt(d)
+		l[j*n+j] = d
+		inv := 1 / d
+		// Column below the pivot.
+		for i := j + 1; i < n; i++ {
+			s := l[i*n+j]
+			li := l[i*n:]
+			lj := l[j*n:]
+			for k := 0; k < j; k++ {
+				s -= li[k] * lj[k]
+			}
+			l[i*n+j] = s * inv
+		}
+	}
+	// Zero the strict upper triangle so the factor is clean.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			l[i*n+j] = 0
+		}
+	}
+	return &Cholesky{n: n, l: l}, nil
+}
+
+// Solve returns x such that (L·Lᵀ)·x = b via forward and back substitution.
+func (c *Cholesky) Solve(b []float64) []float64 {
+	if len(b) != c.n {
+		panic(fmt.Sprintf("linalg: Cholesky.Solve dimension mismatch: %d vs %d", len(b), c.n))
+	}
+	n := c.n
+	l := c.l
+	// Forward: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		li := l[i*n:]
+		for k := 0; k < i; k++ {
+			s -= li[k] * y[k]
+		}
+		y[i] = s / li[i]
+	}
+	// Backward: Lᵀ·x = y.
+	x := y // reuse storage
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= l[k*n+i] * x[k]
+		}
+		x[i] = s / l[i*n+i]
+	}
+	return x
+}
+
+// SolveSPD solves M·x = b for symmetric positive-(semi)definite M, applying
+// an escalating diagonal ridge if the bare factorization fails. QuickSel's
+// system Q + λAᵀA is PSD and occasionally rank-deficient when subpopulation
+// boxes coincide; a relative ridge restores definiteness without visibly
+// perturbing the weights (DESIGN.md §5.2). It returns the ridge used.
+func SolveSPD(m *Matrix, b []float64) (x []float64, ridge float64, err error) {
+	if m.Rows != m.Cols {
+		return nil, 0, fmt.Errorf("linalg: SolveSPD of non-square %d×%d matrix", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	if n == 0 {
+		return nil, 0, nil
+	}
+	var trace float64
+	for i := 0; i < n; i++ {
+		trace += m.At(i, i)
+	}
+	scale := trace / float64(n)
+	if scale <= 0 {
+		scale = 1
+	}
+	work := m.Clone()
+	ridge = 0
+	for attempt := 0; attempt < 12; attempt++ {
+		if attempt > 0 {
+			add := scale * math.Pow(10, float64(attempt-10)) // 1e-10·scale upward
+			for i := 0; i < n; i++ {
+				work.Data[i*n+i] = m.At(i, i) + add
+			}
+			ridge = add
+		}
+		ch, cerr := NewCholesky(work)
+		if cerr == nil {
+			return ch.Solve(b), ridge, nil
+		}
+	}
+	return nil, ridge, ErrNotSPD
+}

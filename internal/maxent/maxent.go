@@ -1,0 +1,194 @@
+// Package maxent implements the iterative-scaling optimizer used by
+// max-entropy query-driven histograms (ISOMER and its relatives). Given a
+// set of histogram buckets and observed queries such that every bucket is
+// either fully inside or fully outside each query's region (the 0/1 overlap
+// requirement analysed in Appendix B of the QuickSel paper), it finds the
+// maximum-entropy bucket frequencies consistent with the observed
+// selectivities.
+//
+// The update rule is the multiplicative form derived in Appendix B:
+//
+//	w_j = (v_j / e) · Π_{i : j ∈ C_i} z_i
+//	z_i ← s_i / Σ_{j ∈ C_i} (w_j / z_i)
+//
+// where v_j is bucket j's volume, C_i is the set of buckets inside query i,
+// and z_i = exp(λ_i) are the exponentiated Lagrange multipliers.
+package maxent
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Problem is one iterative-scaling instance.
+type Problem struct {
+	// Volumes of the m buckets (all must be positive).
+	Volumes []float64
+	// Members[i] lists the bucket indices fully contained in query i's
+	// region. The caller must include the default query covering all
+	// buckets (selectivity 1) if normalization is desired.
+	Members [][]int
+	// Sels[i] is the observed selectivity of query i.
+	Sels []float64
+}
+
+// Options tunes Solve.
+type Options struct {
+	MaxIters int     // 0 means 1000
+	Tol      float64 // max constraint violation; 0 means 1e-6
+	// Incremental enables an optimization over the published algorithm:
+	// instead of re-evaluating the product Π_{k∈D_j\i} z_k for every bucket
+	// on every update (Equation 8 of Appendix B, the faithful default), the
+	// solver maintains w_j = (v_j/e)·Π z_k incrementally and updates it by
+	// the ratio z_new/z_old. Mathematically identical, asymptotically much
+	// faster; kept as an option so the baseline comparison of the
+	// reproduction uses the algorithm as published (see the iterative-
+	// scaling ablation in internal/experiments).
+	Incremental bool
+}
+
+// Result reports the solved frequencies and convergence diagnostics.
+type Result struct {
+	Weights   []float64 // bucket frequencies w_j (sum to the default query's selectivity)
+	Iters     int
+	Converged bool
+	MaxViol   float64 // largest |Σ_{j∈C_i} w_j − s_i| at exit
+}
+
+// ErrBadProblem is returned for structurally invalid instances.
+var ErrBadProblem = errors.New("maxent: invalid problem")
+
+// Solve runs iterative scaling until every constraint holds within Tol or
+// MaxIters is reached.
+func Solve(p *Problem, opts Options) (*Result, error) {
+	m := len(p.Volumes)
+	n := len(p.Members)
+	if len(p.Sels) != n {
+		return nil, fmt.Errorf("%w: %d member sets vs %d selectivities", ErrBadProblem, n, len(p.Sels))
+	}
+	for j, v := range p.Volumes {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w: bucket %d has volume %g", ErrBadProblem, j, v)
+		}
+	}
+	for i, mem := range p.Members {
+		for _, j := range mem {
+			if j < 0 || j >= m {
+				return nil, fmt.Errorf("%w: query %d references bucket %d of %d", ErrBadProblem, i, j, m)
+			}
+		}
+		if p.Sels[i] < 0 || p.Sels[i] > 1+1e-9 || math.IsNaN(p.Sels[i]) {
+			return nil, fmt.Errorf("%w: query %d has selectivity %g", ErrBadProblem, i, p.Sels[i])
+		}
+	}
+	if opts.MaxIters == 0 {
+		opts.MaxIters = 1000
+	}
+	if opts.Tol == 0 {
+		opts.Tol = 1e-6
+	}
+
+	// Initialize z_i = 1 and w_j = v_j / e.
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = 1
+	}
+	w := make([]float64, m)
+	for j := range w {
+		w[j] = p.Volumes[j] / math.E
+	}
+
+	// incident[j] lists the queries containing bucket j (the sets D_j of
+	// Appendix B), needed by the faithful direct update.
+	var incident [][]int32
+	if !opts.Incremental {
+		incident = make([][]int32, m)
+		for i, mem := range p.Members {
+			for _, j := range mem {
+				incident[j] = append(incident[j], int32(i))
+			}
+		}
+	}
+
+	const zFloor = 1e-300 // keeps zero-selectivity constraints representable
+	res := &Result{}
+	for iter := 0; iter < opts.MaxIters; iter++ {
+		for i := 0; i < n; i++ {
+			var zNew float64
+			if opts.Incremental {
+				// Optimized: Σ_{j∈C_i} (v_j/e)·Π_{k∈D_j\i} z_k = (Σ w_j)/z_i.
+				var sum float64
+				for _, j := range p.Members[i] {
+					sum += w[j]
+				}
+				if sum <= 0 {
+					continue
+				}
+				zNew = p.Sels[i] * z[i] / sum
+			} else {
+				// Faithful Equation (8): re-evaluate the denominator product
+				// for every member bucket.
+				var denom float64
+				for _, j := range p.Members[i] {
+					term := p.Volumes[j] / math.E
+					for _, k := range incident[j] {
+						if int(k) != i {
+							term *= z[k]
+						}
+					}
+					denom += term
+				}
+				if denom <= 0 {
+					continue
+				}
+				zNew = p.Sels[i] / denom
+			}
+			if zNew < zFloor {
+				zNew = zFloor
+			}
+			if opts.Incremental {
+				ratio := zNew / z[i]
+				if ratio != 1 {
+					for _, j := range p.Members[i] {
+						w[j] *= ratio
+					}
+				}
+			}
+			z[i] = zNew
+		}
+		if !opts.Incremental {
+			// Recompute w_j = (v_j/e)·Π_{k∈D_j} z_k from scratch (Equation 6).
+			for j := 0; j < m; j++ {
+				term := p.Volumes[j] / math.E
+				for _, k := range incident[j] {
+					term *= z[k]
+				}
+				w[j] = term
+			}
+		}
+		res.Iters = iter + 1
+		res.MaxViol = maxViolation(p, w)
+		if res.MaxViol <= opts.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.Weights = w
+	return res, nil
+}
+
+// maxViolation returns the largest absolute constraint violation.
+func maxViolation(p *Problem, w []float64) float64 {
+	var worst float64
+	for i, mem := range p.Members {
+		var sum float64
+		for _, j := range mem {
+			sum += w[j]
+		}
+		if d := math.Abs(sum - p.Sels[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,226 @@
+package maxent
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveTwoBuckets(t *testing.T) {
+	// Two buckets of volume 0.5 each; default query says total mass 1, one
+	// observation says bucket 0 holds 0.3.
+	p := &Problem{
+		Volumes: []float64{0.5, 0.5},
+		Members: [][]int{{0, 1}, {0}},
+		Sels:    []float64{1, 0.3},
+	}
+	res, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: viol=%g after %d iters", res.MaxViol, res.Iters)
+	}
+	if math.Abs(res.Weights[0]-0.3) > 1e-5 || math.Abs(res.Weights[1]-0.7) > 1e-5 {
+		t.Errorf("weights = %v, want [0.3 0.7]", res.Weights)
+	}
+}
+
+func TestSolveMaxEntropyPrefersUniformPerVolume(t *testing.T) {
+	// Only the default query: frequencies should be proportional to volume
+	// (the max-entropy distribution with no other information is uniform).
+	p := &Problem{
+		Volumes: []float64{0.25, 0.75},
+		Members: [][]int{{0, 1}},
+		Sels:    []float64{1},
+	}
+	res, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if math.Abs(res.Weights[0]-0.25) > 1e-5 || math.Abs(res.Weights[1]-0.75) > 1e-5 {
+		t.Errorf("weights = %v, want [0.25 0.75]", res.Weights)
+	}
+}
+
+func TestSolveOverlappingConstraints(t *testing.T) {
+	// Three buckets; two overlapping queries share bucket 1.
+	p := &Problem{
+		Volumes: []float64{0.3, 0.4, 0.3},
+		Members: [][]int{
+			{0, 1, 2}, // default
+			{0, 1},    // s = 0.6
+			{1, 2},    // s = 0.7
+		},
+		Sels: []float64{1, 0.6, 0.7},
+	}
+	res, err := Solve(p, Options{MaxIters: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: viol=%g", res.MaxViol)
+	}
+	// Constraints must hold: w0+w1=0.6, w1+w2=0.7, total=1 → w1=0.3.
+	if math.Abs(res.Weights[1]-0.3) > 1e-4 {
+		t.Errorf("w1 = %g, want 0.3", res.Weights[1])
+	}
+}
+
+func TestSolveZeroSelectivity(t *testing.T) {
+	p := &Problem{
+		Volumes: []float64{0.5, 0.5},
+		Members: [][]int{{0, 1}, {0}},
+		Sels:    []float64{1, 0},
+	}
+	res, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weights[0] > 1e-6 {
+		t.Errorf("w0 = %g, want ≈0", res.Weights[0])
+	}
+	if math.Abs(res.Weights[1]-1) > 1e-5 {
+		t.Errorf("w1 = %g, want ≈1", res.Weights[1])
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *Problem
+	}{
+		{"mismatched sels", &Problem{Volumes: []float64{1}, Members: [][]int{{0}}, Sels: nil}},
+		{"zero volume", &Problem{Volumes: []float64{0}, Members: [][]int{{0}}, Sels: []float64{1}}},
+		{"negative volume", &Problem{Volumes: []float64{-1}, Members: [][]int{{0}}, Sels: []float64{1}}},
+		{"bucket out of range", &Problem{Volumes: []float64{1}, Members: [][]int{{3}}, Sels: []float64{1}}},
+		{"selectivity out of range", &Problem{Volumes: []float64{1}, Members: [][]int{{0}}, Sels: []float64{2}}},
+		{"nan selectivity", &Problem{Volumes: []float64{1}, Members: [][]int{{0}}, Sels: []float64{math.NaN()}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Solve(tc.p, Options{}); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestSolveEmptyProblem(t *testing.T) {
+	res, err := Solve(&Problem{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Weights) != 0 {
+		t.Errorf("weights = %v, want empty", res.Weights)
+	}
+}
+
+func TestContradictoryConstraintsDoNotDiverge(t *testing.T) {
+	// Same bucket set asserted at two different selectivities: no solution
+	// exists; the solver must stop at MaxIters without NaN/Inf weights.
+	p := &Problem{
+		Volumes: []float64{0.5, 0.5},
+		Members: [][]int{{0, 1}, {0}, {0}},
+		Sels:    []float64{1, 0.2, 0.8},
+	}
+	res, err := Solve(p, Options{MaxIters: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range res.Weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			t.Fatalf("weight %g invalid under contradictory constraints", w)
+		}
+	}
+}
+
+// Property: on random consistent instances (selectivities generated from a
+// hidden ground-truth distribution) the solver reproduces every constraint.
+func TestPropertyConsistentInstancesConverge(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(8)
+		// Hidden ground truth over m buckets.
+		truth := make([]float64, m)
+		var tot float64
+		for j := range truth {
+			truth[j] = rng.Float64()
+			tot += truth[j]
+		}
+		for j := range truth {
+			truth[j] /= tot
+		}
+		vols := make([]float64, m)
+		for j := range vols {
+			vols[j] = 0.1 + rng.Float64()
+		}
+		// Default query + a few random subset queries with exact sels.
+		members := [][]int{allIdx(m)}
+		sels := []float64{1}
+		for q := 0; q < 1+rng.Intn(4); q++ {
+			var mem []int
+			var s float64
+			for j := 0; j < m; j++ {
+				if rng.Float64() < 0.5 {
+					mem = append(mem, j)
+					s += truth[j]
+				}
+			}
+			if len(mem) == 0 {
+				continue
+			}
+			members = append(members, mem)
+			sels = append(sels, s)
+		}
+		res, err := Solve(&Problem{Volumes: vols, Members: members, Sels: sels},
+			Options{MaxIters: 20000, Tol: 1e-7})
+		if err != nil {
+			return false
+		}
+		return res.Converged
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func allIdx(m int) []int {
+	out := make([]int, m)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func BenchmarkSolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m, n := 500, 50
+	vols := make([]float64, m)
+	for j := range vols {
+		vols[j] = 0.01 + rng.Float64()
+	}
+	members := [][]int{allIdx(m)}
+	sels := []float64{1}
+	for q := 0; q < n; q++ {
+		var mem []int
+		for j := 0; j < m; j++ {
+			if rng.Float64() < 0.3 {
+				mem = append(mem, j)
+			}
+		}
+		members = append(members, mem)
+		sels = append(sels, rng.Float64())
+	}
+	p := &Problem{Volumes: vols, Members: members, Sels: sels}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p, Options{MaxIters: 100}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

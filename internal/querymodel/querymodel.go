@@ -1,0 +1,125 @@
+// Package querymodel implements the QueryModel baseline [Anagnostopoulos &
+// Triantafillou, Big Data 2015] of the paper's evaluation: it "computes the
+// selectivity estimate by a weighted average of the selectivities of
+// observed queries", with weights determined by the similarity between the
+// new query and each observed query. No model of the data distribution is
+// built; the observed queries themselves are the model.
+package querymodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"quicksel/internal/geom"
+)
+
+// DefaultBandwidth is the kernel bandwidth over the normalized query
+// feature space (concatenated box corners in [0,1]^2d).
+const DefaultBandwidth = 0.15
+
+// Config tunes the model.
+type Config struct {
+	Dim       int
+	Bandwidth float64 // 0 means DefaultBandwidth
+}
+
+// Model is the query-similarity estimator.
+type Model struct {
+	cfg      Config
+	unit     geom.Box
+	features [][]float64 // one feature vector (lo‖hi) per observed query
+	sels     []float64
+}
+
+// New returns an empty model.
+func New(cfg Config) (*Model, error) {
+	if cfg.Dim < 1 {
+		return nil, fmt.Errorf("querymodel: Dim must be >= 1, got %d", cfg.Dim)
+	}
+	if cfg.Bandwidth < 0 {
+		return nil, fmt.Errorf("querymodel: negative bandwidth %g", cfg.Bandwidth)
+	}
+	if cfg.Bandwidth == 0 {
+		cfg.Bandwidth = DefaultBandwidth
+	}
+	return &Model{cfg: cfg, unit: geom.Unit(cfg.Dim)}, nil
+}
+
+// NumObserved returns the number of recorded queries.
+func (m *Model) NumObserved() int { return len(m.sels) }
+
+// ParamCount counts the stored parameters: 2d box corners plus the
+// selectivity per observed query (the quantity tracked in Figure 4).
+func (m *Model) ParamCount() int { return len(m.sels) * (2*m.cfg.Dim + 1) }
+
+// Observe records one (query box, selectivity) pair.
+func (m *Model) Observe(box geom.Box, sel float64) error {
+	if box.Dim() != m.cfg.Dim {
+		return fmt.Errorf("querymodel: observed box has dim %d, want %d", box.Dim(), m.cfg.Dim)
+	}
+	if err := box.Validate(); err != nil {
+		return fmt.Errorf("querymodel: observed box: %w", err)
+	}
+	if math.IsNaN(sel) {
+		return errors.New("querymodel: NaN selectivity")
+	}
+	if sel < 0 {
+		sel = 0
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	b := box.Clip(m.unit)
+	m.features = append(m.features, featurize(b))
+	m.sels = append(m.sels, sel)
+	return nil
+}
+
+// Estimate returns the similarity-weighted average of observed
+// selectivities; with no observations it falls back to the uniform
+// assumption (box volume).
+func (m *Model) Estimate(box geom.Box) (float64, error) {
+	if box.Dim() != m.cfg.Dim {
+		return 0, fmt.Errorf("querymodel: query box has dim %d, want %d", box.Dim(), m.cfg.Dim)
+	}
+	b := box.Clip(m.unit)
+	if len(m.sels) == 0 {
+		return b.Volume(), nil
+	}
+	f := featurize(b)
+	inv := 1 / (2 * m.cfg.Bandwidth * m.cfg.Bandwidth)
+	var num, den float64
+	for i, fi := range m.features {
+		k := math.Exp(-geom.SquaredDistance(f, fi) * inv)
+		num += k * m.sels[i]
+		den += k
+	}
+	if den < 1e-300 {
+		// The query is far from every observed query; fall back to the
+		// nearest observation rather than dividing by ~0.
+		best, bestD := 0, math.Inf(1)
+		for i, fi := range m.features {
+			if d := geom.SquaredDistance(f, fi); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		return m.sels[best], nil
+	}
+	est := num / den
+	if est < 0 {
+		est = 0
+	}
+	if est > 1 {
+		est = 1
+	}
+	return est, nil
+}
+
+// featurize maps a box to the concatenation of its corners.
+func featurize(b geom.Box) []float64 {
+	f := make([]float64, 0, 2*b.Dim())
+	f = append(f, b.Lo...)
+	f = append(f, b.Hi...)
+	return f
+}

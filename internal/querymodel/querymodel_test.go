@@ -1,0 +1,152 @@
+package querymodel
+
+import (
+	"math"
+	"testing"
+
+	"quicksel/internal/geom"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Dim: 0}); err == nil {
+		t.Error("expected error for Dim 0")
+	}
+	if _, err := New(Config{Dim: 2, Bandwidth: -1}); err == nil {
+		t.Error("expected error for negative bandwidth")
+	}
+}
+
+func TestUniformFallback(t *testing.T) {
+	m, err := New(Config{Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Estimate(geom.NewBox([]float64{0, 0}, []float64{0.5, 0.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("fallback = %g, want 0.25", got)
+	}
+}
+
+func TestExactRecallOfObservedQuery(t *testing.T) {
+	m, err := New(Config{Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := geom.NewBox([]float64{0.2, 0.2}, []float64{0.4, 0.4})
+	if err := m.Observe(b, 0.33); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Estimate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.33) > 1e-9 {
+		t.Errorf("recall of identical query = %g, want 0.33", got)
+	}
+}
+
+func TestSimilarityWeighting(t *testing.T) {
+	m, err := New(Config{Dim: 1, Bandwidth: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two far-apart observed queries with different selectivities.
+	left := geom.NewBox([]float64{0.0}, []float64{0.2})
+	right := geom.NewBox([]float64{0.8}, []float64{1.0})
+	if err := m.Observe(left, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Observe(right, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	// A query near the left one should estimate near 0.9.
+	got, err := m.Estimate(geom.NewBox([]float64{0.02}, []float64{0.22}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.9) > 0.05 {
+		t.Errorf("near-left estimate = %g, want ≈0.9", got)
+	}
+	// And near the right one, near 0.1.
+	got, err = m.Estimate(geom.NewBox([]float64{0.78}, []float64{0.98}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.1) > 0.05 {
+		t.Errorf("near-right estimate = %g, want ≈0.1", got)
+	}
+}
+
+func TestFarQueryFallsBackToNearest(t *testing.T) {
+	m, err := New(Config{Dim: 1, Bandwidth: 0.001}) // extremely narrow kernel
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Observe(geom.NewBox([]float64{0}, []float64{0.1}), 0.7); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Estimate(geom.NewBox([]float64{0.9}, []float64{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.7 {
+		t.Errorf("nearest fallback = %g, want 0.7", got)
+	}
+}
+
+func TestParamCountGrowsLinearly(t *testing.T) {
+	m, err := New(Config{Dim: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := m.Observe(geom.Unit(3), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.ParamCount(); got != 10*7 {
+		t.Errorf("ParamCount = %d, want 70 (10 queries × (2·3+1))", got)
+	}
+	if m.NumObserved() != 10 {
+		t.Errorf("NumObserved = %d", m.NumObserved())
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	m, err := New(Config{Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Observe(geom.Unit(3), 0.5); err == nil {
+		t.Error("expected dim mismatch")
+	}
+	if err := m.Observe(geom.Unit(2), math.NaN()); err == nil {
+		t.Error("expected NaN error")
+	}
+	if err := m.Observe(geom.Box{Lo: []float64{1, 1}, Hi: []float64{0, 0}}, 0.2); err == nil {
+		t.Error("expected invalid box error")
+	}
+	if _, err := m.Estimate(geom.Unit(3)); err == nil {
+		t.Error("expected dim mismatch on estimate")
+	}
+}
+
+func TestSelectivityClamping(t *testing.T) {
+	m, err := New(Config{Dim: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Observe(geom.Unit(1), 5); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Estimate(geom.Unit(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 1 {
+		t.Errorf("estimate %g exceeds 1 after clamped observation", got)
+	}
+}

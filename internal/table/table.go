@@ -1,0 +1,166 @@
+// Package table is the data substrate: an in-memory columnar relation that
+// serves three roles in the reproduction. It answers exact selectivities
+// (the "actual selectivities observed after running each query" that
+// query-driven methods train on), it is the scan target for the scan-based
+// baselines (AutoHist, AutoSample), and it accepts inserts so the drift
+// experiment of Figure 5 can append new data with changing correlation.
+package table
+
+import (
+	"fmt"
+	"sync"
+
+	"quicksel/internal/geom"
+	"quicksel/internal/predicate"
+)
+
+// Table is a columnar in-memory relation. All methods are safe for
+// concurrent use; the drift experiment appends while estimators read.
+type Table struct {
+	mu     sync.RWMutex
+	schema *predicate.Schema
+	cols   [][]float64 // cols[i][r] = value of column i in row r
+	rows   int
+
+	// modifiedSince counts rows inserted since the last ResetModified call;
+	// the scan-based baselines use it to implement SQL Server's
+	// AUTO_UPDATE_STATISTICS rule (rebuild when >20% of the data changed).
+	modifiedSince int
+}
+
+// New returns an empty table over the given schema.
+func New(schema *predicate.Schema) *Table {
+	return &Table{
+		schema: schema,
+		cols:   make([][]float64, schema.Dim()),
+	}
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *predicate.Schema { return t.schema }
+
+// Rows returns the current row count.
+func (t *Table) Rows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows
+}
+
+// Insert appends tuples. Each tuple must have exactly Dim values; a short
+// or long tuple is rejected with an error and nothing is inserted.
+func (t *Table) Insert(tuples ...[]float64) error {
+	d := t.schema.Dim()
+	for i, tup := range tuples {
+		if len(tup) != d {
+			return fmt.Errorf("table: tuple %d has %d values, want %d", i, len(tup), d)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, tup := range tuples {
+		for c := 0; c < d; c++ {
+			t.cols[c] = append(t.cols[c], tup[c])
+		}
+	}
+	t.rows += len(tuples)
+	t.modifiedSince += len(tuples)
+	return nil
+}
+
+// ModifiedFraction returns inserted-since-reset / current-rows; the
+// auto-update rule of the scan-based baselines triggers on this.
+func (t *Table) ModifiedFraction() float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.rows == 0 {
+		return 0
+	}
+	return float64(t.modifiedSince) / float64(t.rows)
+}
+
+// ResetModified clears the modification counter (called after a statistics
+// rebuild).
+func (t *Table) ResetModified() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.modifiedSince = 0
+}
+
+// Selectivity returns the exact fraction of rows matching the predicate:
+// s_i = (1/N) Σ I(x_k ∈ B_i). A table with zero rows reports 0.
+func (t *Table) Selectivity(p *predicate.Predicate) float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.rows == 0 {
+		return 0
+	}
+	count := 0
+	tuple := make([]float64, t.schema.Dim())
+	for r := 0; r < t.rows; r++ {
+		for c := range t.cols {
+			tuple[c] = t.cols[c][r]
+		}
+		if p.Matches(t.schema, tuple) {
+			count++
+		}
+	}
+	return float64(count) / float64(t.rows)
+}
+
+// SelectivityBoxes returns the exact fraction of rows whose normalized
+// image falls inside any of the given (disjoint) normalized boxes. This is
+// the fast path used by experiment drivers that pre-lower predicates.
+func (t *Table) SelectivityBoxes(boxes []geom.Box) float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.rows == 0 || len(boxes) == 0 {
+		return 0
+	}
+	d := t.schema.Dim()
+	count := 0
+	p := make([]float64, d)
+	for r := 0; r < t.rows; r++ {
+		for c := 0; c < d; c++ {
+			p[c] = t.schema.Normalize(c, t.cols[c][r])
+		}
+		if geom.CoversPoint(boxes, p) {
+			count++
+		}
+	}
+	return float64(count) / float64(t.rows)
+}
+
+// Scan invokes fn for every row with a reused tuple buffer; fn must not
+// retain the slice. Scan holds a read lock for its duration.
+func (t *Table) Scan(fn func(row int, tuple []float64)) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	d := t.schema.Dim()
+	tuple := make([]float64, d)
+	for r := 0; r < t.rows; r++ {
+		for c := 0; c < d; c++ {
+			tuple[c] = t.cols[c][r]
+		}
+		fn(r, tuple)
+	}
+}
+
+// Column returns a copy of column c's values.
+func (t *Table) Column(c int) []float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]float64, t.rows)
+	copy(out, t.cols[c])
+	return out
+}
+
+// Row returns a copy of row r.
+func (t *Table) Row(r int) []float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]float64, len(t.cols))
+	for c := range t.cols {
+		out[c] = t.cols[c][r]
+	}
+	return out
+}

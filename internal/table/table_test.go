@@ -1,0 +1,171 @@
+package table
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"quicksel/internal/predicate"
+)
+
+func newTestTable(t *testing.T) *Table {
+	t.Helper()
+	s := predicate.MustSchema(
+		predicate.Column{Name: "a", Kind: predicate.Real, Min: 0, Max: 10},
+		predicate.Column{Name: "b", Kind: predicate.Real, Min: 0, Max: 10},
+	)
+	return New(s)
+}
+
+func TestInsertAndRows(t *testing.T) {
+	tb := newTestTable(t)
+	if tb.Rows() != 0 {
+		t.Fatal("new table should be empty")
+	}
+	if err := tb.Insert([]float64{1, 2}, []float64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows = %d, want 2", tb.Rows())
+	}
+	r := tb.Row(1)
+	if r[0] != 3 || r[1] != 4 {
+		t.Errorf("Row(1) = %v", r)
+	}
+	c := tb.Column(0)
+	if len(c) != 2 || c[0] != 1 || c[1] != 3 {
+		t.Errorf("Column(0) = %v", c)
+	}
+}
+
+func TestInsertRejectsBadArity(t *testing.T) {
+	tb := newTestTable(t)
+	if err := tb.Insert([]float64{1}); err == nil {
+		t.Fatal("expected arity error")
+	}
+	if tb.Rows() != 0 {
+		t.Fatal("failed insert must not mutate the table")
+	}
+	// A batch with one bad tuple is rejected atomically.
+	if err := tb.Insert([]float64{1, 2}, []float64{9}); err == nil {
+		t.Fatal("expected arity error in batch")
+	}
+	if tb.Rows() != 0 {
+		t.Fatal("partially-bad batch must not be inserted")
+	}
+}
+
+func TestSelectivityExact(t *testing.T) {
+	tb := newTestTable(t)
+	// 10 rows with a = 0..9, b = 0.
+	for i := 0; i < 10; i++ {
+		if err := tb.Insert([]float64{float64(i), 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := predicate.Range(0, 0, 5) // a ∈ [0,5) matches a=0..4
+	if got := tb.Selectivity(p); got != 0.5 {
+		t.Errorf("Selectivity = %g, want 0.5", got)
+	}
+	if got := tb.Selectivity(predicate.All()); got != 1 {
+		t.Errorf("Selectivity(All) = %g, want 1", got)
+	}
+}
+
+func TestSelectivityEmptyTable(t *testing.T) {
+	tb := newTestTable(t)
+	if got := tb.Selectivity(predicate.All()); got != 0 {
+		t.Errorf("empty table selectivity = %g, want 0", got)
+	}
+}
+
+func TestSelectivityBoxesAgreesWithPredicate(t *testing.T) {
+	tb := newTestTable(t)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		if err := tb.Insert([]float64{rng.Float64() * 10, rng.Float64() * 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := predicate.Or(
+		predicate.And(predicate.Range(0, 1, 4), predicate.Range(1, 2, 9)),
+		predicate.Not(predicate.Range(0, 0, 8)),
+	)
+	boxes, err := p.Boxes(tb.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := tb.Selectivity(p)
+	viaBoxes := tb.SelectivityBoxes(boxes)
+	if math.Abs(direct-viaBoxes) > 1e-12 {
+		t.Errorf("Selectivity = %g but SelectivityBoxes = %g", direct, viaBoxes)
+	}
+}
+
+func TestModifiedFraction(t *testing.T) {
+	tb := newTestTable(t)
+	for i := 0; i < 100; i++ {
+		if err := tb.Insert([]float64{1, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tb.ModifiedFraction(); got != 1 {
+		t.Errorf("fresh table ModifiedFraction = %g, want 1", got)
+	}
+	tb.ResetModified()
+	if got := tb.ModifiedFraction(); got != 0 {
+		t.Errorf("after reset = %g, want 0", got)
+	}
+	for i := 0; i < 25; i++ {
+		if err := tb.Insert([]float64{1, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tb.ModifiedFraction(); got != 0.2 {
+		t.Errorf("ModifiedFraction = %g, want 0.2 (25/125)", got)
+	}
+}
+
+func TestScan(t *testing.T) {
+	tb := newTestTable(t)
+	if err := tb.Insert([]float64{1, 2}, []float64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	tb.Scan(func(row int, tuple []float64) { sum += tuple[0] + tuple[1] })
+	if sum != 10 {
+		t.Errorf("scan sum = %g, want 10", sum)
+	}
+}
+
+func TestConcurrentInsertAndRead(t *testing.T) {
+	tb := newTestTable(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				_ = tb.Insert([]float64{rng.Float64() * 10, rng.Float64() * 10})
+			}
+		}(int64(w))
+	}
+	var rg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for i := 0; i < 50; i++ {
+				_ = tb.Selectivity(predicate.Range(0, 0, 5))
+				_ = tb.Rows()
+			}
+		}()
+	}
+	wg.Wait()
+	rg.Wait()
+	if tb.Rows() != 800 {
+		t.Errorf("Rows = %d, want 800", tb.Rows())
+	}
+}

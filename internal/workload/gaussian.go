@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"quicksel/internal/predicate"
+	"quicksel/internal/table"
+)
+
+// GaussianConfig parameterizes the synthetic Gaussian dataset of §5.1
+// ("generated using a bivariate normal distribution; we varied this dataset
+// to study workload shifts, different degrees of correlation, and more").
+type GaussianConfig struct {
+	Dim  int     // number of columns (2 in most figures, up to 10 in Fig 7d)
+	Corr float64 // pairwise correlation in [0, 1); equi-correlated covariance
+	Rows int
+	Seed int64
+}
+
+// gaussianRange bounds the generated values; N(0,1) mass outside ±5 is
+// negligible (≈6e-7) and clipping keeps the schema domain finite.
+const gaussianRange = 5.0
+
+// NewGaussian builds a Gaussian dataset with the given correlation
+// structure. All pairs of columns share the same correlation coefficient;
+// the covariance has eigenvalues 1−ρ and 1+(d−1)ρ, so it is positive
+// definite for ρ < 1 (ρ is clamped to 0.999).
+func NewGaussian(cfg GaussianConfig) (*Dataset, error) {
+	if cfg.Dim < 1 {
+		return nil, fmt.Errorf("workload: Gaussian needs Dim >= 1, got %d", cfg.Dim)
+	}
+	if cfg.Rows < 0 {
+		return nil, fmt.Errorf("workload: negative Rows %d", cfg.Rows)
+	}
+	if cfg.Corr < 0 || cfg.Corr >= 1 {
+		if cfg.Corr == 1 { // Fig 7a sweeps ρ up to 1; degrade gracefully
+			cfg.Corr = 0.999
+		} else {
+			return nil, fmt.Errorf("workload: correlation %g outside [0, 1]", cfg.Corr)
+		}
+	}
+	cols := make([]predicate.Column, cfg.Dim)
+	for i := range cols {
+		cols[i] = predicate.Column{
+			Name: fmt.Sprintf("x%d", i),
+			Kind: predicate.Real,
+			Min:  -gaussianRange,
+			Max:  gaussianRange,
+		}
+	}
+	schema, err := predicate.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	ds := &Dataset{
+		Name:   fmt.Sprintf("gaussian(d=%d,corr=%g)", cfg.Dim, cfg.Corr),
+		Schema: schema,
+		Table:  table.New(schema),
+	}
+	if err := AppendGaussian(ds, cfg.Rows, cfg.Corr, cfg.Seed); err != nil {
+		return nil, err
+	}
+	ds.Table.ResetModified()
+	return ds, nil
+}
+
+// AppendGaussian inserts rows drawn from an equi-correlated multivariate
+// normal into an existing Gaussian dataset. Figure 5 uses this to shift the
+// data distribution (inserting batches with increasing correlation).
+func AppendGaussian(ds *Dataset, rows int, corr float64, seed int64) error {
+	d := ds.Schema.Dim()
+	if corr >= 1 {
+		corr = 0.999
+	}
+	l, err := equicorrCholesky(d, corr)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	z := make([]float64, d)
+	batch := make([][]float64, 0, 1024)
+	for r := 0; r < rows; r++ {
+		for i := range z {
+			z[i] = rng.NormFloat64()
+		}
+		x := make([]float64, d)
+		for i := 0; i < d; i++ {
+			var s float64
+			for j := 0; j <= i; j++ {
+				s += l[i*d+j] * z[j]
+			}
+			// Clip to the schema domain; the half-open upper bound excludes
+			// gaussianRange itself.
+			if s < -gaussianRange {
+				s = -gaussianRange
+			}
+			if s >= gaussianRange {
+				s = math.Nextafter(gaussianRange, 0)
+			}
+			x[i] = s
+		}
+		batch = append(batch, x)
+		if len(batch) == cap(batch) {
+			if err := ds.Table.Insert(batch...); err != nil {
+				return err
+			}
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		return ds.Table.Insert(batch...)
+	}
+	return nil
+}
+
+// equicorrCholesky returns the lower Cholesky factor of the d×d matrix with
+// unit diagonal and constant off-diagonal corr, row-major.
+func equicorrCholesky(d int, corr float64) ([]float64, error) {
+	l := make([]float64, d*d)
+	// Plain Cholesky on the implicit matrix.
+	at := func(i, j int) float64 {
+		if i == j {
+			return 1
+		}
+		return corr
+	}
+	for j := 0; j < d; j++ {
+		s := at(j, j)
+		for k := 0; k < j; k++ {
+			s -= l[j*d+k] * l[j*d+k]
+		}
+		if s <= 0 {
+			return nil, fmt.Errorf("workload: correlation %g yields non-PD covariance in %d dims", corr, d)
+		}
+		l[j*d+j] = math.Sqrt(s)
+		for i := j + 1; i < d; i++ {
+			v := at(i, j)
+			for k := 0; k < j; k++ {
+				v -= l[i*d+k] * l[j*d+k]
+			}
+			l[i*d+j] = v / l[j*d+j]
+		}
+	}
+	return l, nil
+}
+
+// GaussianQueries draws range queries sized for the Gaussian data: widths
+// between 10% and 40% of the domain, centered with the given shift pattern.
+// The paper's Gaussian queries "count the number of points that lie within
+// a randomly generated rectangle"; like any realistic workload they probe
+// the populated part of the domain, so random-shift centers concentrate on
+// the central ±3σ band (the N(0,1) marginals occupy [0.2, 0.8] of the
+// [-5,5] schema domain after normalization).
+func GaussianQueries(s *predicate.Schema, n int, shift ShiftKind, seed int64) []Query {
+	if shift != RandomShift {
+		return RangeQueries(s, n, shift, 0.10, 0.40, seed)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := s.Dim()
+	queries := make([]Query, 0, n)
+	for i := 0; i < n; i++ {
+		centers := make([]float64, d)
+		widths := make([]float64, d)
+		for c := 0; c < d; c++ {
+			centers[c] = 0.2 + 0.6*rng.Float64()
+			widths[c] = 0.10 + 0.30*rng.Float64()
+		}
+		queries = append(queries, rangeQuery(s, centers, widths))
+	}
+	return queries
+}

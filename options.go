@@ -1,0 +1,50 @@
+package quicksel
+
+import "quicksel/internal/core"
+
+// Option configures an Estimator at construction time.
+type Option func(*core.Config)
+
+// WithSeed fixes the pseudo-random seed used for subpopulation generation,
+// making the model fully deterministic.
+func WithSeed(seed int64) Option {
+	return func(c *core.Config) { c.Seed = seed }
+}
+
+// WithMaxSubpopulations caps the number of mixture components. The paper's
+// default is 4,000 (§3.3, footnote 9).
+func WithMaxSubpopulations(m int) Option {
+	return func(c *core.Config) { c.MaxSubpops = m }
+}
+
+// WithSubpopsPerQuery sets how many mixture components are budgeted per
+// observed query before the cap applies. The paper's default is 4.
+func WithSubpopsPerQuery(k int) Option {
+	return func(c *core.Config) { c.SubpopsPerQuery = k }
+}
+
+// WithFixedSubpopulations pins the number of mixture components regardless
+// of how many queries have been observed (the mode of Figure 7c).
+func WithFixedSubpopulations(m int) Option {
+	return func(c *core.Config) { c.FixedSubpops = m }
+}
+
+// WithPointsPerPredicate sets the number of workload-aware points sampled
+// inside each observed predicate (paper default: 10).
+func WithPointsPerPredicate(k int) Option {
+	return func(c *core.Config) { c.PointsPerPredicate = k }
+}
+
+// WithLambda sets the consistency-penalty weight of Problem 3 (paper
+// default: 1e6).
+func WithLambda(lambda float64) Option {
+	return func(c *core.Config) { c.Lambda = lambda }
+}
+
+// WithIterativeSolver switches training from the analytic closed form to a
+// projected-gradient quadratic-program solver that enforces non-negative
+// weights. This is the "Standard QP" baseline of Figure 6; it is slower and
+// exists for comparison and for callers that need w >= 0 exactly.
+func WithIterativeSolver() Option {
+	return func(c *core.Config) { c.UseIterativeSolver = true }
+}

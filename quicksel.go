@@ -1,0 +1,193 @@
+package quicksel
+
+import (
+	"fmt"
+	"sync"
+
+	"quicksel/internal/core"
+	"quicksel/internal/predicate"
+)
+
+// Re-exported schema and predicate vocabulary. These alias the internal
+// implementation so the whole repository shares one source of truth; the
+// public package is the only importable entry point.
+type (
+	// Schema describes the columns of the relation whose selectivities are
+	// being learned. Build one with NewSchema.
+	Schema = predicate.Schema
+	// Column describes a single attribute: its name, kind, and value range.
+	Column = predicate.Column
+	// ColumnKind distinguishes real, integer, and categorical columns.
+	ColumnKind = predicate.ColumnKind
+	// Predicate is a boolean combination of range and equality constraints.
+	Predicate = predicate.Predicate
+)
+
+// Column kinds.
+const (
+	// Real columns take continuous values in [Min, Max].
+	Real = predicate.Real
+	// Integer columns take integer values in {Min, ..., Max}.
+	Integer = predicate.Integer
+	// Categorical columns enumerate categories identified with integers
+	// {Min, ..., Max}.
+	Categorical = predicate.Categorical
+)
+
+// NewSchema validates and returns a schema over the given columns.
+func NewSchema(cols ...Column) (*Schema, error) { return predicate.NewSchema(cols...) }
+
+// Predicate constructors; see the package documentation for semantics.
+var (
+	// All matches every row (selectivity 1).
+	All = predicate.All
+	// Range restricts a column to the half-open interval [lo, hi).
+	Range = predicate.Range
+	// AtLeast restricts a column to values >= lo.
+	AtLeast = predicate.AtLeast
+	// AtMost restricts a column to values < hi.
+	AtMost = predicate.AtMost
+	// Eq is an equality constraint on a discrete column.
+	Eq = predicate.Eq
+	// In is a disjunction of equality constraints on a discrete column.
+	In = predicate.In
+	// And is conjunction.
+	And = predicate.And
+	// Or is disjunction.
+	Or = predicate.Or
+	// Not is negation.
+	Not = predicate.Not
+)
+
+// Estimator is the public face of QuickSel: a selectivity-learning model
+// bound to a schema. It is safe for concurrent use; Observe and Estimate
+// may be called from multiple goroutines.
+//
+// Estimates are produced lazily: the first Estimate after one or more
+// Observe calls (re)trains the model. Call Train explicitly to control when
+// the (quadratic-program) fitting cost is paid.
+type Estimator struct {
+	mu     sync.Mutex
+	schema *Schema
+	model  *core.Model
+}
+
+// New returns an estimator for the given schema. Options tune the paper's
+// defaults (subpopulation budget, penalty weight, seed, solver).
+func New(schema *Schema, opts ...Option) (*Estimator, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("quicksel: nil schema")
+	}
+	cfg := core.Config{Dim: schema.Dim()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	m, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Estimator{schema: schema, model: m}, nil
+}
+
+// Schema returns the estimator's schema.
+func (e *Estimator) Schema() *Schema { return e.schema }
+
+// Observe feeds back the actual selectivity of an executed predicate. The
+// predicate may contain conjunctions, disjunctions, and negations; it is
+// lowered to disjoint hyperrectangles and each rectangle is recorded with
+// its share of the observed selectivity (proportional to volume), matching
+// the paper's inclusion-exclusion treatment of non-conjunctive predicates.
+func (e *Estimator) Observe(p *Predicate, trueSelectivity float64) error {
+	boxes, err := p.Boxes(e.schema)
+	if err != nil {
+		return fmt.Errorf("quicksel: observe: %w", err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch len(boxes) {
+	case 0:
+		return nil // predicate selects nothing; nothing to learn
+	case 1:
+		return e.model.Observe(boxes[0], trueSelectivity)
+	default:
+		// Split the observed mass across the disjoint pieces by volume.
+		var total float64
+		for _, b := range boxes {
+			total += b.Volume()
+		}
+		if total == 0 {
+			return nil
+		}
+		for _, b := range boxes {
+			if err := e.model.Observe(b, trueSelectivity*b.Volume()/total); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// Train fits the model to all observations so far. Estimate trains lazily,
+// so calling Train is optional; it exists to let callers schedule the
+// fitting cost (e.g. off the query path).
+func (e *Estimator) Train() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.model.Train()
+}
+
+// Estimate returns the estimated selectivity of the predicate, in [0, 1].
+func (e *Estimator) Estimate(p *Predicate) (float64, error) {
+	boxes, err := p.Boxes(e.schema)
+	if err != nil {
+		return 0, fmt.Errorf("quicksel: estimate: %w", err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.model.EstimateUnion(boxes)
+}
+
+// NumObserved returns the number of observed queries recorded so far.
+func (e *Estimator) NumObserved() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.model.NumObserved()
+}
+
+// ParamCount returns the number of model parameters (subpopulation weights)
+// of the last trained model; 0 before the first training.
+func (e *Estimator) ParamCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.model.ParamCount()
+}
+
+// ParseError is the error type returned by Parse for malformed predicate
+// text; it carries the byte offset of the problem.
+type ParseError = predicate.ParseError
+
+// Parse builds a Predicate from SQL-style WHERE text against the schema,
+// e.g. "age BETWEEN 30 AND 39 AND salary >= 1e5 OR state IN (3, 7)".
+// Supported: AND/OR/NOT, parentheses, <, <=, >, >=, BETWEEN, and =, !=, IN
+// on discrete columns — exactly the predicate class of the paper (§2.2).
+func Parse(schema *Schema, input string) (*Predicate, error) {
+	return predicate.Parse(schema, input)
+}
+
+// ObserveWhere is Observe with a parsed WHERE clause.
+func (e *Estimator) ObserveWhere(where string, trueSelectivity float64) error {
+	p, err := Parse(e.schema, where)
+	if err != nil {
+		return err
+	}
+	return e.Observe(p, trueSelectivity)
+}
+
+// EstimateWhere is Estimate with a parsed WHERE clause.
+func (e *Estimator) EstimateWhere(where string) (float64, error) {
+	p, err := Parse(e.schema, where)
+	if err != nil {
+		return 0, err
+	}
+	return e.Estimate(p)
+}
