@@ -1,0 +1,92 @@
+// Command quickseld is the QuickSel selectivity-serving daemon: a long-lived
+// HTTP/JSON service hosting named estimators, with background training and
+// durable model snapshots.
+//
+// Usage:
+//
+//	quickseld -addr :7075 -snapshot /var/lib/quickseld/state.json
+//
+// Endpoints:
+//
+//	POST   /v1/estimators          create an estimator from a JSON schema
+//	GET    /v1/estimators          list estimators with serving stats
+//	DELETE /v1/estimators/{name}   drop an estimator
+//	POST   /v1/{name}/observe      ingest one observation or a batch
+//	GET    /v1/{name}/estimate     estimate a WHERE clause (?where=...)
+//	POST   /v1/{name}/train        synchronously flush + retrain
+//	POST   /v1/snapshot            force a snapshot write
+//	GET    /metrics                Prometheus metrics
+//	GET    /healthz                liveness probe
+//
+// On SIGINT/SIGTERM the daemon drains in-flight requests, flushes and
+// trains every estimator, and persists a final snapshot; restarting with
+// the same -snapshot path serves identical estimates.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"quicksel/internal/server"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":7075", "listen address")
+		snapshotPath  = flag.String("snapshot", "", "snapshot file for durable model state (empty disables persistence)")
+		trainInterval = flag.Duration("train-interval", server.DefaultTrainInterval, "debounce interval of the background training worker")
+		snapInterval  = flag.Duration("snapshot-interval", 0, "periodic snapshot interval (0 = only on shutdown and POST /v1/snapshot)")
+		bufferSize    = flag.Int("buffer", server.DefaultBufferSize, "per-estimator pending-observation buffer size")
+		seed          = flag.Int64("seed", 0, "default model seed for new estimators")
+	)
+	flag.Parse()
+
+	srv, err := server.New(server.Config{
+		SnapshotPath:     *snapshotPath,
+		TrainInterval:    *trainInterval,
+		SnapshotInterval: *snapInterval,
+		BufferSize:       *bufferSize,
+		Seed:             *seed,
+	})
+	if err != nil {
+		log.Fatalf("quickseld: %v", err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		s := <-sig
+		log.Printf("quickseld: received %s, shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("quickseld: http shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("quickseld: serving on %s (snapshot=%q)", *addr, *snapshotPath)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("quickseld: %v", err)
+	}
+	<-done
+	// Flush pending observations, train, and persist the final snapshot.
+	if err := srv.Close(); err != nil {
+		log.Fatalf("quickseld: close: %v", err)
+	}
+	log.Printf("quickseld: bye")
+}

@@ -33,4 +33,20 @@
 //	sel, _ := est.Estimate(quicksel.Range(0, 20, 65))
 //
 // The estimator is safe for concurrent use.
+//
+// # Snapshots
+//
+// Estimator.Snapshot and Restore serialize the full model — observations,
+// subpopulations, and trained weights — as JSON; a restored estimator
+// serves identical estimates without retraining. EncodeSnapshot and
+// DecodeSnapshot are stream conveniences over the same format.
+//
+// # Serving
+//
+// The repository also ships quickseld (cmd/quickseld, built on
+// internal/server): a long-lived HTTP/JSON daemon hosting a registry of
+// named estimators. It ingests observations into bounded buffers, retrains
+// dirty estimators in a background worker off the query path, exposes
+// Prometheus metrics, and persists model snapshots so a restarted daemon
+// serves identical estimates.
 package quicksel

@@ -1,0 +1,111 @@
+// Server example: an end-to-end client session against quickseld.
+//
+// It starts an in-process quickseld (so the example is self-contained and
+// runnable offline), then talks to it exactly as a remote client would:
+// create an estimator from a JSON schema, stream a batch of observed
+// selectivities, force a training pass, and ask for estimates via WHERE
+// clauses. Point baseURL at a real daemon (`go run ./cmd/quickseld`) to run
+// the same session over the network.
+//
+// Run with:
+//
+//	go run ./examples/server
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+
+	"quicksel/internal/server"
+)
+
+func main() {
+	// Stand up quickseld in-process. A production deployment runs
+	// `quickseld -addr :7075 -snapshot state.json` instead.
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	baseURL := ts.URL
+
+	// 1. Create an estimator from a JSON schema.
+	post(baseURL+"/v1/estimators", `{
+		"name": "people",
+		"schema": {"columns": [
+			{"name": "age",    "kind": "integer", "min": 18, "max": 90},
+			{"name": "salary", "kind": "real",    "min": 0,  "max": 300000}
+		]},
+		"options": {"seed": 42}
+	}`)
+
+	// 2. Stream observed selectivities — the feedback a database's
+	//    executor produces as a side effect of running queries.
+	post(baseURL+"/v1/people/observe", `{"observations": [
+		{"where": "age BETWEEN 18 AND 29", "selectivity": 0.22},
+		{"where": "age BETWEEN 30 AND 49", "selectivity": 0.41},
+		{"where": "salary >= 100000", "selectivity": 0.18},
+		{"where": "age BETWEEN 30 AND 49 AND salary >= 100000", "selectivity": 0.12},
+		{"where": "salary < 40000", "selectivity": 0.35}
+	]}`)
+
+	// 3. Force a synchronous training pass. (Normally the background
+	//    worker retrains on its own debounce interval.)
+	post(baseURL+"/v1/people/train", `{}`)
+
+	// 4. Ask for estimates for predicates the model has never seen.
+	for _, where := range []string{
+		"age >= 50",
+		"age BETWEEN 25 AND 44",
+		"age < 30 AND salary >= 100000",
+		"salary < 40000 OR salary >= 150000",
+	} {
+		body := get(baseURL + "/v1/people/estimate?where=" + url.QueryEscape(where))
+		var resp struct {
+			Selectivity float64 `json:"selectivity"`
+		}
+		if err := json.Unmarshal(body, &resp); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-38s -> %5.1f%%\n", where, resp.Selectivity*100)
+	}
+
+	// 5. Peek at the serving stats.
+	fmt.Printf("\nestimators: %s\n", get(baseURL+"/v1/estimators"))
+}
+
+func post(url, body string) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		b, _ := io.ReadAll(resp.Body)
+		log.Fatalf("POST %s: %s: %s", url, resp.Status, b)
+	}
+}
+
+func get(url string) []byte {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode >= 300 {
+		log.Fatalf("GET %s: %s: %s", url, resp.Status, b)
+	}
+	return b
+}

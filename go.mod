@@ -1,0 +1,3 @@
+module quicksel
+
+go 1.24

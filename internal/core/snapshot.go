@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"quicksel/internal/geom"
+)
+
+// SnapshotVersion is the current serialization format version. Restore
+// rejects snapshots with a different version rather than guessing.
+const SnapshotVersion = 1
+
+// SnapshotBox is the serialized form of a geom.Box.
+type SnapshotBox struct {
+	Lo []float64 `json:"lo"`
+	Hi []float64 `json:"hi"`
+}
+
+func boxToSnapshot(b geom.Box) SnapshotBox {
+	c := b.Clone()
+	return SnapshotBox{Lo: c.Lo, Hi: c.Hi}
+}
+
+func (s SnapshotBox) box() geom.Box {
+	return geom.Box{Lo: s.Lo, Hi: s.Hi}.Clone()
+}
+
+// SnapshotObservation is one serialized training record: the lowered
+// predicate box, the observed selectivity, and the workload-aware points
+// drawn inside the box at observation time. Persisting the points keeps
+// post-restore retraining deterministic: the center pool of §3.3 is rebuilt
+// from exactly the same candidates.
+type SnapshotObservation struct {
+	Lo     []float64   `json:"lo"`
+	Hi     []float64   `json:"hi"`
+	Sel    float64     `json:"sel"`
+	Points [][]float64 `json:"points,omitempty"`
+}
+
+// SnapshotConfig mirrors Config with stable JSON names, decoupling the
+// serialized format from the Go struct.
+type SnapshotConfig struct {
+	Dim                int     `json:"dim"`
+	SubpopsPerQuery    int     `json:"subpops_per_query"`
+	MaxSubpops         int     `json:"max_subpops"`
+	FixedSubpops       int     `json:"fixed_subpops,omitempty"`
+	PointsPerPredicate int     `json:"points_per_predicate"`
+	NearestCenters     int     `json:"nearest_centers"`
+	Lambda             float64 `json:"lambda"`
+	Seed               int64   `json:"seed"`
+	UseIterativeSolver bool    `json:"use_iterative_solver,omitempty"`
+}
+
+func configToSnapshot(c Config) SnapshotConfig {
+	return SnapshotConfig{
+		Dim:                c.Dim,
+		SubpopsPerQuery:    c.SubpopsPerQuery,
+		MaxSubpops:         c.MaxSubpops,
+		FixedSubpops:       c.FixedSubpops,
+		PointsPerPredicate: c.PointsPerPredicate,
+		NearestCenters:     c.NearestCenters,
+		Lambda:             c.Lambda,
+		Seed:               c.Seed,
+		UseIterativeSolver: c.UseIterativeSolver,
+	}
+}
+
+func (s SnapshotConfig) config() Config {
+	return Config{
+		Dim:                s.Dim,
+		SubpopsPerQuery:    s.SubpopsPerQuery,
+		MaxSubpops:         s.MaxSubpops,
+		FixedSubpops:       s.FixedSubpops,
+		PointsPerPredicate: s.PointsPerPredicate,
+		NearestCenters:     s.NearestCenters,
+		Lambda:             s.Lambda,
+		Seed:               s.Seed,
+		UseIterativeSolver: s.UseIterativeSolver,
+	}
+}
+
+// Snapshot is the complete serializable state of a Model: configuration,
+// every observation (with its workload-aware points), and the trained
+// subpopulations and weights. A restored model produces bit-identical
+// estimates without retraining.
+//
+// The one piece of state a snapshot does not carry is the PRNG stream
+// position: a restored model reseeds from Config.Seed, so random draws made
+// after Restore differ from the draws the original model would have made
+// had it kept running. Estimates and retraining over the restored
+// observations are unaffected (the points that feed training are persisted).
+type Snapshot struct {
+	Version       int                   `json:"version"`
+	Config        SnapshotConfig        `json:"config"`
+	DefaultPoints [][]float64           `json:"default_points"`
+	Observations  []SnapshotObservation `json:"observations"`
+	Subpops       []SnapshotBox         `json:"subpops,omitempty"`
+	Weights       []float64             `json:"weights,omitempty"`
+	Trained       bool                  `json:"trained"`
+}
+
+func copyPoints(pts [][]float64) [][]float64 {
+	if pts == nil {
+		return nil
+	}
+	out := make([][]float64, len(pts))
+	for i, p := range pts {
+		q := make([]float64, len(p))
+		copy(q, p)
+		out[i] = q
+	}
+	return out
+}
+
+// Snapshot exports the model's full state. The returned value shares no
+// storage with the model; it can be marshaled to JSON and handed to Restore
+// in another process.
+func (m *Model) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Version:       SnapshotVersion,
+		Config:        configToSnapshot(m.cfg),
+		DefaultPoints: copyPoints(m.defaultPoints),
+		Trained:       m.trained,
+	}
+	s.Observations = make([]SnapshotObservation, len(m.observations))
+	for i, o := range m.observations {
+		b := boxToSnapshot(o.box)
+		s.Observations[i] = SnapshotObservation{
+			Lo:     b.Lo,
+			Hi:     b.Hi,
+			Sel:    o.sel,
+			Points: copyPoints(o.points),
+		}
+	}
+	if len(m.subpops) > 0 {
+		s.Subpops = make([]SnapshotBox, len(m.subpops))
+		for i, b := range m.subpops {
+			s.Subpops[i] = boxToSnapshot(b)
+		}
+		s.Weights = make([]float64, len(m.weights))
+		copy(s.Weights, m.weights)
+	}
+	return s
+}
+
+// Restore rebuilds a Model from a snapshot, validating the format version,
+// dimensions, and internal consistency. The restored model estimates
+// identically to the snapshotted one; see Snapshot for the PRNG caveat.
+func Restore(s *Snapshot) (*Model, error) {
+	if s == nil {
+		return nil, fmt.Errorf("core: nil snapshot")
+	}
+	if s.Version != SnapshotVersion {
+		return nil, fmt.Errorf("core: unsupported snapshot version %d (want %d)", s.Version, SnapshotVersion)
+	}
+	cfg := s.Config.config()
+	if cfg.Dim < 1 {
+		return nil, fmt.Errorf("core: snapshot Dim must be >= 1, got %d", cfg.Dim)
+	}
+	if cfg.Lambda < 0 || math.IsNaN(cfg.Lambda) {
+		return nil, fmt.Errorf("core: snapshot has invalid Lambda %g", cfg.Lambda)
+	}
+	if cfg.FixedSubpops < 0 || cfg.SubpopsPerQuery < 0 || cfg.MaxSubpops < 0 ||
+		cfg.PointsPerPredicate < 0 || cfg.NearestCenters < 0 {
+		return nil, fmt.Errorf("core: snapshot has negative configuration value")
+	}
+	if len(s.Weights) != len(s.Subpops) {
+		return nil, fmt.Errorf("core: snapshot has %d weights for %d subpopulations",
+			len(s.Weights), len(s.Subpops))
+	}
+	m := &Model{
+		cfg:  cfg.withDefaults(),
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		unit: geom.Unit(cfg.Dim),
+	}
+	checkPoint := func(p []float64, what string) error {
+		if len(p) != cfg.Dim {
+			return fmt.Errorf("core: snapshot %s point has dim %d, model has %d", what, len(p), cfg.Dim)
+		}
+		for _, v := range p {
+			if math.IsNaN(v) {
+				return fmt.Errorf("core: snapshot %s point has NaN coordinate", what)
+			}
+		}
+		return nil
+	}
+	for _, p := range s.DefaultPoints {
+		if err := checkPoint(p, "default"); err != nil {
+			return nil, err
+		}
+	}
+	m.defaultPoints = copyPoints(s.DefaultPoints)
+	m.observations = make([]observation, len(s.Observations))
+	for i, o := range s.Observations {
+		box := SnapshotBox{Lo: o.Lo, Hi: o.Hi}.box()
+		if box.Dim() != cfg.Dim {
+			return nil, fmt.Errorf("core: snapshot observation %d has dim %d, model has %d", i, box.Dim(), cfg.Dim)
+		}
+		if err := box.Validate(); err != nil {
+			return nil, fmt.Errorf("core: snapshot observation %d: %w", i, err)
+		}
+		if math.IsNaN(o.Sel) {
+			return nil, fmt.Errorf("core: snapshot observation %d has NaN selectivity", i)
+		}
+		sel := o.Sel
+		if sel < 0 {
+			sel = 0
+		}
+		if sel > 1 {
+			sel = 1
+		}
+		for _, p := range o.Points {
+			if err := checkPoint(p, fmt.Sprintf("observation %d", i)); err != nil {
+				return nil, err
+			}
+		}
+		m.observations[i] = observation{
+			box:    box.Clip(m.unit),
+			sel:    sel,
+			points: copyPoints(o.Points),
+		}
+	}
+	if len(s.Subpops) > 0 {
+		m.subpops = make([]geom.Box, len(s.Subpops))
+		for i, sb := range s.Subpops {
+			box := sb.box()
+			if box.Dim() != cfg.Dim {
+				return nil, fmt.Errorf("core: snapshot subpopulation %d has dim %d, model has %d", i, box.Dim(), cfg.Dim)
+			}
+			if err := box.Validate(); err != nil {
+				return nil, fmt.Errorf("core: snapshot subpopulation %d: %w", i, err)
+			}
+			if box.Volume() == 0 {
+				return nil, fmt.Errorf("core: snapshot subpopulation %d has zero volume", i)
+			}
+			m.subpops[i] = box
+		}
+		m.weights = make([]float64, len(s.Weights))
+		for i, w := range s.Weights {
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				return nil, fmt.Errorf("core: snapshot weight %d is not finite", i)
+			}
+			m.weights[i] = w
+		}
+	}
+	m.trained = s.Trained
+	return m, nil
+}

@@ -41,10 +41,10 @@ func (k ColumnKind) String() string {
 
 // Column describes one attribute of a relation.
 type Column struct {
-	Name string
-	Kind ColumnKind
-	Min  float64 // smallest value (category index for Categorical)
-	Max  float64 // largest value
+	Name string     `json:"name"`
+	Kind ColumnKind `json:"kind"`
+	Min  float64    `json:"min"` // smallest value (category index for Categorical)
+	Max  float64    `json:"max"` // largest value
 }
 
 // domain returns the column's real-line domain [lo, hi). Discrete columns
@@ -59,7 +59,7 @@ func (c Column) domain() (lo, hi float64) {
 // Schema is an ordered set of columns; it defines the domain box B0 and the
 // normalization used throughout the repository.
 type Schema struct {
-	Cols []Column
+	Cols []Column `json:"columns"`
 }
 
 // NewSchema validates and returns a schema. It rejects empty schemas,

@@ -1,0 +1,268 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sync/atomic"
+
+	"quicksel"
+)
+
+// Server is the HTTP facade over a Registry. Build one with New, mount it
+// (it implements http.Handler), and Close it on shutdown.
+type Server struct {
+	reg *Registry
+	mux *http.ServeMux
+
+	// Request counters by endpoint, exposed on /metrics.
+	reqCreate   atomic.Uint64
+	reqObserve  atomic.Uint64
+	reqEstimate atomic.Uint64
+	reqList     atomic.Uint64
+	reqTrain    atomic.Uint64
+	reqDrop     atomic.Uint64
+	reqSnapshot atomic.Uint64
+	reqMetrics  atomic.Uint64
+	reqErrors   atomic.Uint64
+}
+
+// New builds the server and its registry.
+func New(cfg Config) (*Server, error) {
+	reg, err := NewRegistry(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{reg: reg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/estimators", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/estimators", s.handleList)
+	s.mux.HandleFunc("DELETE /v1/estimators/{name}", s.handleDrop)
+	s.mux.HandleFunc("POST /v1/{name}/observe", s.handleObserve)
+	s.mux.HandleFunc("GET /v1/{name}/estimate", s.handleEstimate)
+	s.mux.HandleFunc("POST /v1/{name}/train", s.handleTrain)
+	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return s, nil
+}
+
+// Registry exposes the underlying registry (for embedding quickseld in a
+// larger process).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Close flushes, persists, and stops the background worker.
+func (s *Server) Close() error { return s.reg.Close() }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// errorBody is the JSON error envelope of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError maps registry errors onto HTTP statuses: unknown name → 404,
+// duplicate create → 409, bad input (parse errors, schema errors) → 400.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	s.reqErrors.Add(1)
+	status := http.StatusBadRequest
+	var nf *NotFoundError
+	var cf *ConflictError
+	switch {
+	case errors.As(err, &nf):
+		status = http.StatusNotFound
+	case errors.As(err, &cf):
+		status = http.StatusConflict
+	}
+	s.writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// createRequest is the body of POST /v1/estimators.
+type createRequest struct {
+	Name    string           `json:"name"`
+	Schema  *quicksel.Schema `json:"schema"`
+	Options *createOptions   `json:"options,omitempty"`
+}
+
+// createOptions tunes the model; zero fields keep the paper defaults.
+type createOptions struct {
+	Seed               *int64  `json:"seed,omitempty"`
+	MaxSubpops         int     `json:"max_subpops,omitempty"`
+	SubpopsPerQuery    int     `json:"subpops_per_query,omitempty"`
+	FixedSubpops       int     `json:"fixed_subpops,omitempty"`
+	PointsPerPredicate int     `json:"points_per_predicate,omitempty"`
+	Lambda             float64 `json:"lambda,omitempty"`
+	IterativeSolver    bool    `json:"iterative_solver,omitempty"`
+}
+
+func (o *createOptions) toOptions() []quicksel.Option {
+	if o == nil {
+		return nil
+	}
+	var opts []quicksel.Option
+	if o.Seed != nil {
+		opts = append(opts, quicksel.WithSeed(*o.Seed))
+	}
+	if o.MaxSubpops > 0 {
+		opts = append(opts, quicksel.WithMaxSubpopulations(o.MaxSubpops))
+	}
+	if o.SubpopsPerQuery > 0 {
+		opts = append(opts, quicksel.WithSubpopsPerQuery(o.SubpopsPerQuery))
+	}
+	if o.FixedSubpops > 0 {
+		opts = append(opts, quicksel.WithFixedSubpopulations(o.FixedSubpops))
+	}
+	if o.PointsPerPredicate > 0 {
+		opts = append(opts, quicksel.WithPointsPerPredicate(o.PointsPerPredicate))
+	}
+	if o.Lambda > 0 {
+		opts = append(opts, quicksel.WithLambda(o.Lambda))
+	}
+	if o.IterativeSolver {
+		opts = append(opts, quicksel.WithIterativeSolver())
+	}
+	return opts
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	s.reqCreate.Add(1)
+	var req createRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if req.Schema == nil {
+		s.writeError(w, fmt.Errorf("request needs a schema"))
+		return
+	}
+	if err := s.reg.Create(req.Name, req.Schema, req.Options.toOptions()...); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, map[string]string{"name": req.Name, "status": "created"})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.reqList.Add(1)
+	s.writeJSON(w, http.StatusOK, map[string]any{"estimators": s.reg.List()})
+}
+
+func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
+	s.reqDrop.Add(1)
+	if err := s.reg.Drop(r.PathValue("name")); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "dropped"})
+}
+
+// observation is one observe record; observeRequest accepts a single record
+// or a batch.
+type observation struct {
+	Where       string   `json:"where"`
+	Selectivity *float64 `json:"selectivity"`
+}
+
+type observeRequest struct {
+	observation
+	Observations []observation `json:"observations,omitempty"`
+}
+
+// observeResponse reports ingestion backpressure to the client.
+type observeResponse struct {
+	Accepted int `json:"accepted"`
+	Dropped  int `json:"dropped"`
+	Backlog  int `json:"backlog"`
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	s.reqObserve.Add(1)
+	name := r.PathValue("name")
+	var req observeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	raw := req.Observations
+	if raw == nil {
+		raw = []observation{req.observation}
+	}
+	// Validate the whole batch before queueing anything, so a 400 means
+	// nothing was ingested and the client can safely retry the corrected
+	// batch without double-counting the records before the bad one.
+	batch := make([]Observation, len(raw))
+	for i, o := range raw {
+		if o.Where == "" {
+			s.writeError(w, fmt.Errorf("observation %d: missing where clause", i))
+			return
+		}
+		if o.Selectivity == nil || math.IsNaN(*o.Selectivity) || *o.Selectivity < 0 || *o.Selectivity > 1 {
+			s.writeError(w, fmt.Errorf("observation %d: selectivity must be in [0, 1]", i))
+			return
+		}
+		batch[i] = Observation{Where: o.Where, Sel: *o.Selectivity}
+	}
+	backlog, accepted, err := s.reg.ObserveBatch(name, batch)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp := observeResponse{Accepted: accepted, Dropped: len(batch) - accepted, Backlog: backlog}
+	status := http.StatusAccepted
+	if resp.Accepted == 0 && resp.Dropped > 0 {
+		status = http.StatusTooManyRequests // buffer full; client should back off
+	}
+	s.writeJSON(w, status, resp)
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	s.reqEstimate.Add(1)
+	name := r.PathValue("name")
+	where := r.URL.Query().Get("where")
+	if where == "" {
+		s.writeError(w, fmt.Errorf("missing where query parameter"))
+		return
+	}
+	sel, err := s.reg.Estimate(name, where)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"estimator":   name,
+		"where":       where,
+		"selectivity": sel,
+	})
+}
+
+func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	s.reqTrain.Add(1)
+	name := r.PathValue("name")
+	if err := s.reg.Train(name); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "trained"})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	s.reqSnapshot.Add(1)
+	if err := s.reg.SaveSnapshot(); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "saved"})
+}

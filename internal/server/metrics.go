@@ -1,0 +1,61 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// handleMetrics renders the daemon's operational state in the Prometheus
+// text exposition format (hand-rolled; the format is three trivial line
+// shapes and pulling in a client library for it would be the only external
+// dependency in the repository).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.reqMetrics.Add(1)
+	var b strings.Builder
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("quickseld_requests_create_total", "POST /v1/estimators requests served.", s.reqCreate.Load())
+	counter("quickseld_requests_observe_total", "Observe requests served.", s.reqObserve.Load())
+	counter("quickseld_requests_estimate_total", "Estimate requests served.", s.reqEstimate.Load())
+	counter("quickseld_requests_train_total", "Explicit train requests served.", s.reqTrain.Load())
+	counter("quickseld_requests_list_total", "List requests served.", s.reqList.Load())
+	counter("quickseld_requests_drop_total", "Drop requests served.", s.reqDrop.Load())
+	counter("quickseld_requests_snapshot_total", "Explicit snapshot requests served.", s.reqSnapshot.Load())
+	counter("quickseld_requests_metrics_total", "Metrics scrapes served.", s.reqMetrics.Load())
+	counter("quickseld_request_errors_total", "Requests answered with a non-2xx status.", s.reqErrors.Load())
+	counter("quickseld_snapshots_saved_total", "Registry snapshots persisted.", s.reg.snapshotsSaved.Load())
+	counter("quickseld_snapshot_errors_total", "Registry snapshot writes that failed.", s.reg.snapshotErrs.Load())
+
+	infos := s.reg.List()
+	fmt.Fprintf(&b, "# HELP quickseld_estimators Registered estimators.\n# TYPE quickseld_estimators gauge\nquickseld_estimators %d\n", len(infos))
+
+	perEst := func(name, help, typ string, value func(EstimatorInfo) string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, in := range infos {
+			fmt.Fprintf(&b, "%s{estimator=%q} %s\n", name, in.Name, value(in))
+		}
+	}
+	perEst("quickseld_observations_total", "Observations accepted into the pending buffer.", "counter",
+		func(in EstimatorInfo) string { return fmt.Sprintf("%d", in.Observed) })
+	perEst("quickseld_observations_dropped_total", "Observations dropped on a full buffer.", "counter",
+		func(in EstimatorInfo) string { return fmt.Sprintf("%d", in.Dropped) })
+	perEst("quickseld_estimates_total", "Estimates served.", "counter",
+		func(in EstimatorInfo) string { return fmt.Sprintf("%d", in.Estimates) })
+	perEst("quickseld_train_runs_total", "Background training runs completed.", "counter",
+		func(in EstimatorInfo) string { return fmt.Sprintf("%d", in.TrainRuns) })
+	perEst("quickseld_train_errors_total", "Training runs that failed (batch requeued).", "counter",
+		func(in EstimatorInfo) string { return fmt.Sprintf("%d", in.TrainErrors) })
+	perEst("quickseld_observation_backlog", "Observations queued awaiting training.", "gauge",
+		func(in EstimatorInfo) string { return fmt.Sprintf("%d", in.Backlog) })
+	perEst("quickseld_last_train_seconds", "Duration of the last training run.", "gauge",
+		func(in EstimatorInfo) string { return fmt.Sprintf("%g", in.LastTrainSecs) })
+	perEst("quickseld_model_params", "Subpopulation weights in the serving model.", "gauge",
+		func(in EstimatorInfo) string { return fmt.Sprintf("%d", in.Params) })
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(b.String()))
+}

@@ -1,0 +1,573 @@
+// Package server implements quickseld, a concurrent selectivity-serving
+// daemon over the public quicksel API. It hosts a registry of named
+// estimators (one per table or schema), ingests observed selectivities into
+// bounded per-estimator buffers, and retrains dirty estimators in a
+// background worker so the estimate path never pays the quadratic-program
+// training cost: training happens on a clone built from a model snapshot,
+// and the freshly trained clone is swapped in atomically.
+//
+// The registry persists full model state (not just the feedback log) as a
+// JSON snapshot file, so a restarted daemon serves identical estimates —
+// the §6 system-catalog idiom of the paper, extended from observed-query
+// metadata to the whole trained model.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"quicksel"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultTrainInterval = 250 * time.Millisecond
+	DefaultBufferSize    = 4096
+)
+
+// Config tunes the serving registry. The zero value of every field selects
+// a sensible default; a zero SnapshotPath disables persistence.
+type Config struct {
+	// SnapshotPath is the JSON file the registry persists estimator state
+	// to. Empty disables persistence.
+	SnapshotPath string
+	// TrainInterval is the debounce interval of the background training
+	// worker: dirty estimators are retrained at most this often.
+	TrainInterval time.Duration
+	// SnapshotInterval, when positive, makes the worker also persist a
+	// snapshot this often. Snapshots are always written on Close.
+	SnapshotInterval time.Duration
+	// BufferSize bounds each estimator's pending-observation buffer.
+	// Observations arriving while the buffer is full are dropped and
+	// counted (backpressure is reported to the client).
+	BufferSize int
+	// Seed is the default model seed for estimators created without an
+	// explicit seed.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.TrainInterval <= 0 {
+		c.TrainInterval = DefaultTrainInterval
+	}
+	if c.BufferSize <= 0 {
+		c.BufferSize = DefaultBufferSize
+	}
+	return c
+}
+
+// pendingObs is one ingested observation awaiting the background trainer.
+type pendingObs struct {
+	pred *quicksel.Predicate
+	sel  float64
+}
+
+// estimatorState is the per-estimator shard: its own lock, the serving
+// estimator (swapped atomically after background training), the bounded
+// pending buffer, and serving statistics. Work on different estimators
+// never contends.
+type estimatorState struct {
+	name string
+
+	mu      sync.Mutex
+	serving *quicksel.Estimator // estimator answering Estimate right now
+	pending []pendingObs        // observations not yet trained in
+
+	// Stats, guarded by mu.
+	observedTotal uint64        // observations accepted since creation
+	droppedTotal  uint64        // observations dropped on a full buffer
+	trainedTotal  uint64        // background training runs
+	trainErrors   uint64        // training runs that failed
+	lastTrainErr  string        // message of the last failed run ("" if the last run succeeded)
+	lastTrainDur  time.Duration // duration of the last training run
+	lastTrainAt   time.Time
+
+	estimateTotal atomic.Uint64 // estimates served (atomic: off the mu path)
+	trainMu       sync.Mutex    // serializes training runs; never held on the estimate path
+}
+
+// Registry is the concurrent estimator registry behind the HTTP API. Create
+// one with NewRegistry and stop it with Close, which flushes all pending
+// observations and persists a final snapshot.
+type Registry struct {
+	cfg Config
+
+	mu         sync.RWMutex
+	estimators map[string]*estimatorState
+
+	wake  chan struct{}
+	done  chan struct{}
+	wg    sync.WaitGroup
+	stopO sync.Once
+
+	// Registry-wide counters (atomics; hot paths don't take mu).
+	snapshotsSaved atomic.Uint64
+	snapshotErrs   atomic.Uint64
+}
+
+// NewRegistry builds a registry, reloads state from cfg.SnapshotPath if the
+// file exists, and starts the background training worker.
+func NewRegistry(cfg Config) (*Registry, error) {
+	reg := &Registry{
+		cfg:        cfg.withDefaults(),
+		estimators: map[string]*estimatorState{},
+		wake:       make(chan struct{}, 1),
+		done:       make(chan struct{}),
+	}
+	if reg.cfg.SnapshotPath != "" {
+		if err := reg.loadSnapshotFile(reg.cfg.SnapshotPath); err != nil {
+			return nil, err
+		}
+	}
+	reg.wg.Add(1)
+	go reg.trainLoop()
+	return reg, nil
+}
+
+// Close stops the background worker, flushes and trains every estimator
+// with pending observations, and writes a final snapshot (when persistence
+// is configured).
+func (r *Registry) Close() error {
+	r.stopO.Do(func() { close(r.done) })
+	r.wg.Wait()
+	for _, st := range r.states() {
+		r.flushAndTrain(st)
+	}
+	if r.cfg.SnapshotPath == "" {
+		return nil
+	}
+	return r.SaveSnapshot()
+}
+
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_.-]{0,127}$`)
+
+// Create registers a new named estimator over the schema. The name must be
+// URL-safe ([A-Za-z0-9_.-], starting alphanumeric); duplicates are errors.
+func (r *Registry) Create(name string, schema *quicksel.Schema, opts ...quicksel.Option) error {
+	if !nameRE.MatchString(name) {
+		return fmt.Errorf("server: invalid estimator name %q", name)
+	}
+	opts = append([]quicksel.Option{quicksel.WithSeed(r.cfg.Seed)}, opts...)
+	est, err := quicksel.New(schema, opts...)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.estimators[name]; ok {
+		return &ConflictError{Name: name}
+	}
+	r.estimators[name] = &estimatorState{name: name, serving: est}
+	return nil
+}
+
+// Drop removes a named estimator and its state.
+func (r *Registry) Drop(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.estimators[name]; !ok {
+		return &NotFoundError{Name: name}
+	}
+	delete(r.estimators, name)
+	return nil
+}
+
+// ConflictError reports a Create with an already-registered name.
+type ConflictError struct{ Name string }
+
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("server: estimator %q already exists", e.Name)
+}
+
+// NotFoundError reports an operation on an unregistered name.
+type NotFoundError struct{ Name string }
+
+func (e *NotFoundError) Error() string {
+	return fmt.Sprintf("server: unknown estimator %q", e.Name)
+}
+
+func (r *Registry) state(name string) (*estimatorState, error) {
+	r.mu.RLock()
+	st, ok := r.estimators[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, &NotFoundError{Name: name}
+	}
+	return st, nil
+}
+
+func (r *Registry) states() []*estimatorState {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*estimatorState, 0, len(r.estimators))
+	for _, st := range r.estimators {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Observation is one (WHERE clause, actual selectivity) feedback record.
+type Observation struct {
+	Where string
+	Sel   float64
+}
+
+// Observe queues a single observation for background training; see
+// ObserveBatch.
+func (r *Registry) Observe(name, where string, sel float64) (backlog int, accepted bool, err error) {
+	backlog, accepted64, err := r.ObserveBatch(name, []Observation{{Where: where, Sel: sel}})
+	return backlog, accepted64 == 1, err
+}
+
+// ObserveBatch parses every WHERE clause against the estimator's schema and
+// queues the batch for background training. The batch is atomic with
+// respect to validation: if any clause fails to parse, nothing is queued
+// and the error names the failing index. It returns the backlog after the
+// append and how many observations were accepted; observations beyond the
+// buffer bound are dropped and counted.
+func (r *Registry) ObserveBatch(name string, batch []Observation) (backlog, accepted int, err error) {
+	st, err := r.state(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	st.mu.Lock()
+	schema := st.serving.Schema()
+	st.mu.Unlock()
+	// Parse the whole batch outside the lock: parsing is pure, and
+	// validating everything up front keeps the batch all-or-nothing — a
+	// client retrying after a mid-batch 400 must not double-ingest the
+	// records before the bad one.
+	parsed := make([]pendingObs, len(batch))
+	for i, o := range batch {
+		pred, err := quicksel.Parse(schema, o.Where)
+		if err != nil {
+			return 0, 0, fmt.Errorf("observation %d: %w", i, err)
+		}
+		parsed[i] = pendingObs{pred: pred, sel: o.Sel}
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	room := r.cfg.BufferSize - len(st.pending)
+	if room < 0 {
+		room = 0
+	}
+	if room > len(parsed) {
+		room = len(parsed)
+	}
+	st.pending = append(st.pending, parsed[:room]...)
+	st.observedTotal += uint64(room)
+	st.droppedTotal += uint64(len(parsed) - room)
+	if room > 0 {
+		r.kick()
+	}
+	return len(st.pending), room, nil
+}
+
+// Estimate serves a selectivity estimate from the estimator's current
+// serving model. It never waits for training: the serving model is only
+// replaced by an atomic swap after a background run completes.
+func (r *Registry) Estimate(name, where string) (float64, error) {
+	st, err := r.state(name)
+	if err != nil {
+		return 0, err
+	}
+	st.mu.Lock()
+	est := st.serving
+	st.mu.Unlock()
+	sel, err := est.EstimateWhere(where)
+	if err != nil {
+		return 0, err
+	}
+	st.estimateTotal.Add(1)
+	return sel, nil
+}
+
+// Train synchronously flushes the named estimator's pending observations
+// and retrains it (all estimators when name is ""). It exists so callers —
+// tests, admin tooling — can force a deterministic point-in-time model.
+func (r *Registry) Train(name string) error {
+	if name == "" {
+		for _, st := range r.states() {
+			if err := r.flushAndTrain(st); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	st, err := r.state(name)
+	if err != nil {
+		return err
+	}
+	return r.flushAndTrain(st)
+}
+
+// kick nudges the training worker without blocking.
+func (r *Registry) kick() {
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+}
+
+// trainLoop is the background worker: every TrainInterval it retrains all
+// estimators with pending observations (the interval is the debounce — a
+// burst of observations causes one retrain, not one per observation), and
+// optionally persists snapshots on SnapshotInterval.
+func (r *Registry) trainLoop() {
+	defer r.wg.Done()
+	ticker := time.NewTicker(r.cfg.TrainInterval)
+	defer ticker.Stop()
+	var snapC <-chan time.Time
+	if r.cfg.SnapshotInterval > 0 && r.cfg.SnapshotPath != "" {
+		snap := time.NewTicker(r.cfg.SnapshotInterval)
+		defer snap.Stop()
+		snapC = snap.C
+	}
+	dirty := false
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-r.wake:
+			// Debounce: note the work, let the next tick do it.
+			dirty = true
+		case <-ticker.C:
+			if !dirty && !r.anyPending() {
+				continue
+			}
+			dirty = false
+			for _, st := range r.states() {
+				select {
+				case <-r.done:
+					return
+				default:
+				}
+				// Errors are recorded in the estimator's stats
+				// (train_errors / last_train_error) by flushAndTrain;
+				// the failed batch is requeued and retried next tick.
+				_ = r.flushAndTrain(st)
+			}
+		case <-snapC:
+			if err := r.SaveSnapshot(); err != nil {
+				r.snapshotErrs.Add(1)
+			}
+		}
+	}
+}
+
+func (r *Registry) anyPending() bool {
+	for _, st := range r.states() {
+		st.mu.Lock()
+		n := len(st.pending)
+		st.mu.Unlock()
+		if n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// flushAndTrain drains the estimator's pending buffer into a clone of the
+// serving model, trains the clone, and swaps it in. The estimator's lock is
+// held only to take the buffer and to swap — never across the
+// quadratic-program solve — so Estimate latency is unaffected by training.
+// trainMu serializes trainers (the explicit Train endpoint can race the
+// background worker) so two runs cannot interleave swaps and lose
+// observations.
+func (r *Registry) flushAndTrain(st *estimatorState) error {
+	st.trainMu.Lock()
+	defer st.trainMu.Unlock()
+
+	st.mu.Lock()
+	if len(st.pending) == 0 {
+		st.mu.Unlock()
+		return nil
+	}
+	batch := st.pending
+	st.pending = nil
+	base := st.serving
+	st.mu.Unlock()
+
+	start := time.Now()
+	// Clone via the snapshot API: the serving model keeps answering
+	// estimates while the clone absorbs the batch and pays the QP cost.
+	clone, err := quicksel.Restore(base.Snapshot())
+	if err == nil {
+		for _, o := range batch {
+			if err = clone.Observe(o.pred, o.sel); err != nil {
+				break
+			}
+		}
+	}
+	if err == nil {
+		err = clone.Train()
+	}
+	if err != nil {
+		r.requeue(st, batch)
+		st.mu.Lock()
+		st.trainErrors++
+		st.lastTrainErr = err.Error()
+		st.mu.Unlock()
+		return err
+	}
+	dur := time.Since(start)
+
+	st.mu.Lock()
+	st.serving = clone
+	st.trainedTotal++
+	st.lastTrainErr = ""
+	st.lastTrainDur = dur
+	st.lastTrainAt = time.Now()
+	st.mu.Unlock()
+	return nil
+}
+
+// requeue returns a failed batch to the front of the pending buffer so a
+// transient training error does not lose observations.
+func (r *Registry) requeue(st *estimatorState, batch []pendingObs) {
+	st.mu.Lock()
+	st.pending = append(batch, st.pending...)
+	if len(st.pending) > r.cfg.BufferSize {
+		st.droppedTotal += uint64(len(st.pending) - r.cfg.BufferSize)
+		st.pending = st.pending[:r.cfg.BufferSize]
+	}
+	st.mu.Unlock()
+}
+
+// EstimatorInfo is the public status of one registered estimator.
+type EstimatorInfo struct {
+	Name          string  `json:"name"`
+	Columns       int     `json:"columns"`
+	Observed      uint64  `json:"observed_total"`
+	Dropped       uint64  `json:"dropped_total"`
+	Backlog       int     `json:"backlog"`
+	Estimates     uint64  `json:"estimates_total"`
+	TrainRuns     uint64  `json:"train_runs"`
+	TrainErrors   uint64  `json:"train_errors"`
+	LastTrainErr  string  `json:"last_train_error,omitempty"`
+	LastTrainSecs float64 `json:"last_train_seconds"`
+	Params        int     `json:"params"`
+}
+
+func (r *Registry) info(st *estimatorState) EstimatorInfo {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return EstimatorInfo{
+		Name:          st.name,
+		Columns:       st.serving.Schema().Dim(),
+		Observed:      st.observedTotal,
+		Dropped:       st.droppedTotal,
+		Backlog:       len(st.pending),
+		Estimates:     st.estimateTotal.Load(),
+		TrainRuns:     st.trainedTotal,
+		TrainErrors:   st.trainErrors,
+		LastTrainErr:  st.lastTrainErr,
+		LastTrainSecs: st.lastTrainDur.Seconds(),
+		Params:        st.serving.ParamCount(),
+	}
+}
+
+// List reports the status of every registered estimator, sorted by name.
+func (r *Registry) List() []EstimatorInfo {
+	states := r.states()
+	out := make([]EstimatorInfo, len(states))
+	for i, st := range states {
+		out[i] = r.info(st)
+	}
+	return out
+}
+
+// snapshotFile is the JSON shape of the persisted registry.
+type snapshotFile struct {
+	Version    int                           `json:"version"`
+	Estimators map[string]*quicksel.Snapshot `json:"estimators"`
+}
+
+// SaveSnapshot flushes every estimator's pending observations, trains, and
+// atomically writes the full registry state to the configured snapshot
+// path (write to a temp file in the same directory, then rename).
+func (r *Registry) SaveSnapshot() error {
+	if r.cfg.SnapshotPath == "" {
+		return fmt.Errorf("server: no snapshot path configured")
+	}
+	// Flush first, then collect under the registry lock: an estimator
+	// dropped between the two phases must not be written to the snapshot
+	// (it would be resurrected on the next boot).
+	for _, st := range r.states() {
+		if err := r.flushAndTrain(st); err != nil {
+			return err
+		}
+	}
+	out := snapshotFile{Version: 1, Estimators: map[string]*quicksel.Snapshot{}}
+	r.mu.RLock()
+	for name, st := range r.estimators {
+		st.mu.Lock()
+		est := st.serving
+		st.mu.Unlock()
+		out.Estimators[name] = est.Snapshot()
+	}
+	r.mu.RUnlock()
+	data, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(r.cfg.SnapshotPath)
+	tmp, err := os.CreateTemp(dir, ".quickseld-snapshot-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, r.cfg.SnapshotPath); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	r.snapshotsSaved.Add(1)
+	return nil
+}
+
+// loadSnapshotFile restores all estimators from a snapshot file; a missing
+// file is not an error (first boot).
+func (r *Registry) loadSnapshotFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("server: read snapshot: %w", err)
+	}
+	var in snapshotFile
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("server: decode snapshot %s: %w", path, err)
+	}
+	if in.Version != 1 {
+		return fmt.Errorf("server: unsupported snapshot version %d", in.Version)
+	}
+	for name, snap := range in.Estimators {
+		if !nameRE.MatchString(name) {
+			return fmt.Errorf("server: snapshot has invalid estimator name %q", name)
+		}
+		est, err := quicksel.Restore(snap)
+		if err != nil {
+			return fmt.Errorf("server: restore estimator %q: %w", name, err)
+		}
+		r.estimators[name] = &estimatorState{name: name, serving: est}
+	}
+	return nil
+}

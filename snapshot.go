@@ -1,0 +1,84 @@
+package quicksel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"quicksel/internal/core"
+)
+
+// SnapshotVersion is the format version of estimator snapshots produced by
+// this package. DecodeSnapshot and Restore reject other versions.
+const SnapshotVersion = 1
+
+// Snapshot is the full serializable state of an Estimator: its schema plus
+// the model's observations, subpopulations, and trained weights. A restored
+// estimator produces identical estimates without retraining, so snapshots
+// are suitable for persisting learned state across process restarts (the
+// §6 "store metadata in the system catalog" idiom, extended to the whole
+// model rather than just the feedback log).
+type Snapshot struct {
+	Version int            `json:"version"`
+	Schema  *Schema        `json:"schema"`
+	Model   *core.Snapshot `json:"model"`
+}
+
+// Snapshot exports the estimator's state. The snapshot shares no storage
+// with the estimator and can be marshaled to JSON.
+func (e *Estimator) Snapshot() *Snapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return &Snapshot{
+		Version: SnapshotVersion,
+		Schema:  &Schema{Cols: append([]Column(nil), e.schema.Cols...)},
+		Model:   e.model.Snapshot(),
+	}
+}
+
+// Restore rebuilds an estimator from a snapshot, validating the version,
+// the schema, and the model state's internal consistency.
+func Restore(s *Snapshot) (*Estimator, error) {
+	if s == nil {
+		return nil, fmt.Errorf("quicksel: nil snapshot")
+	}
+	if s.Version != SnapshotVersion {
+		return nil, fmt.Errorf("quicksel: unsupported snapshot version %d (want %d)", s.Version, SnapshotVersion)
+	}
+	if s.Schema == nil {
+		return nil, fmt.Errorf("quicksel: snapshot has no schema")
+	}
+	schema, err := NewSchema(s.Schema.Cols...)
+	if err != nil {
+		return nil, fmt.Errorf("quicksel: snapshot schema: %w", err)
+	}
+	if s.Model == nil {
+		return nil, fmt.Errorf("quicksel: snapshot has no model state")
+	}
+	if s.Model.Config.Dim != schema.Dim() {
+		return nil, fmt.Errorf("quicksel: snapshot model has dim %d, schema has %d",
+			s.Model.Config.Dim, schema.Dim())
+	}
+	m, err := core.Restore(s.Model)
+	if err != nil {
+		return nil, fmt.Errorf("quicksel: %w", err)
+	}
+	return &Estimator{schema: schema, model: m}, nil
+}
+
+// EncodeSnapshot writes the estimator's snapshot as indented JSON.
+func (e *Estimator) EncodeSnapshot(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e.Snapshot())
+}
+
+// DecodeSnapshot reads a JSON snapshot (as written by EncodeSnapshot) and
+// restores the estimator.
+func DecodeSnapshot(r io.Reader) (*Estimator, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("quicksel: snapshot decode: %w", err)
+	}
+	return Restore(&s)
+}
