@@ -46,10 +46,13 @@ func run(args []string) error {
 	rows := fs.Int("rows", 0, "dataset rows (0 = experiment default)")
 	seed := fs.Int64("seed", 1, "base random seed")
 	maxN := fs.Int("maxn", 0, "largest observed-query count for sweeps (0 = default)")
+	out := fs.String("out", "BENCH_quicksel.json", "perf: output JSON path (empty = don't write)")
+	maxM := fs.Int("maxm", 0, "perf: cap on the subpopulation axis (0 = full matrix up to 4000)")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: quickselbench <experiment> [flags]")
 		fmt.Fprintln(fs.Output(), "experiments: table3 fig3 fig4 fig5 fig6 fig7a fig7b fig7c fig7d")
 		fmt.Fprintln(fs.Output(), "             abllambda ablpoints ablsolver ablcap ablscaling ablmixture all")
+		fmt.Fprintln(fs.Output(), "             perf (training/serving kernel micro-benchmarks -> BENCH_quicksel.json)")
 		fs.PrintDefaults()
 	}
 	if len(args) == 0 {
@@ -71,11 +74,17 @@ func run(args []string) error {
 	}
 	for _, n := range names {
 		start := time.Now()
-		out, err := dispatch(n, *dataset, *rows, *maxN, *seed)
+		var rendered string
+		var err error
+		if n == "perf" {
+			rendered, err = runPerf(*out, *maxM)
+		} else {
+			rendered, err = dispatch(n, *dataset, *rows, *maxN, *seed)
+		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", n, err)
 		}
-		fmt.Println(out)
+		fmt.Println(rendered)
 		fmt.Printf("[%s completed in %.1fs]\n\n", n, time.Since(start).Seconds())
 	}
 	return nil

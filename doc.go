@@ -48,5 +48,22 @@
 // named estimators. It ingests observations into bounded buffers, retrains
 // dirty estimators in a background worker off the query path, exposes
 // Prometheus metrics, and persists model snapshots so a restarted daemon
-// serves identical estimates.
+// serves identical estimates. POST /v1/{name}/estimate/batch answers many
+// WHERE clauses in one request from a single model generation.
+//
+// # Performance
+//
+// Training runs its three heavy kernels — Q-matrix assembly over a flat
+// structure-of-arrays box layout, the Gram product, and a blocked
+// panel-parallel Cholesky factorization — on GOMAXPROCS goroutines by
+// default; WithWorkers caps the count per estimator (WithWorkers(1) forces
+// the sequential path). Every worker count yields bit-identical weights:
+// each matrix element accumulates its floating-point terms in a fixed order
+// and workers write disjoint rows, so parallelism never perturbs snapshots.
+//
+// Serving compiles the trained model at Train time into an immutable form —
+// zero-weight subpopulations pruned, weights pre-divided by box volume,
+// bounds in contiguous arrays — so Estimate is an allocation-free loop. For
+// many predicates at once, EstimateBatch and EstimateBatchWhere lower and
+// parse outside the estimator lock and acquire it once per batch.
 package quicksel

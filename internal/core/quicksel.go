@@ -17,6 +17,7 @@ import (
 
 	"quicksel/internal/geom"
 	"quicksel/internal/linalg"
+	"quicksel/internal/par"
 	"quicksel/internal/qp"
 )
 
@@ -51,6 +52,12 @@ type Config struct {
 	// internal/qp, standing in for the "Standard QP" baseline in Figure 6
 	// and the solver ablation. Off by default (analytic solve).
 	UseIterativeSolver bool
+	// Workers bounds the goroutines used by Train's parallel kernels
+	// (Q-matrix assembly, the Gram product, the blocked Cholesky):
+	// 0 = GOMAXPROCS, 1 = sequential. Every worker count produces
+	// bit-identical subpopulation weights; the knob trades cores for wall
+	// clock only.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +110,16 @@ type Model struct {
 	weights []float64
 	trained bool
 
+	// compiled is the immutable serving form of the trained state (zero
+	// weights pruned, weights pre-divided by volume, bounds in SoA arrays);
+	// nil when untrained, uniform, or all-zero-weight.
+	compiled *compiledModel
+
+	// qlo/qhi are reusable clipped-query corners so Estimate allocates
+	// nothing. The Model is single-goroutine by contract (the public
+	// Estimator's mutex serializes access), so one scratch pair suffices.
+	qlo, qhi []float64
+
 	// Diagnostics for the experiment drivers.
 	lastIters int // iterations of the iterative solver (0 for analytic)
 }
@@ -116,7 +133,7 @@ func New(cfg Config) (*Model, error) {
 		return nil, fmt.Errorf("core: negative Lambda %g", cfg.Lambda)
 	}
 	if cfg.FixedSubpops < 0 || cfg.SubpopsPerQuery < 0 || cfg.MaxSubpops < 0 ||
-		cfg.PointsPerPredicate < 0 || cfg.NearestCenters < 0 {
+		cfg.PointsPerPredicate < 0 || cfg.NearestCenters < 0 || cfg.Workers < 0 {
 		return nil, errors.New("core: negative configuration value")
 	}
 	c := cfg.withDefaults()
@@ -124,6 +141,8 @@ func New(cfg Config) (*Model, error) {
 		cfg:  c,
 		rng:  rand.New(rand.NewSource(c.Seed)),
 		unit: geom.Unit(c.Dim),
+		qlo:  make([]float64, c.Dim),
+		qhi:  make([]float64, c.Dim),
 	}
 	m.defaultPoints = make([][]float64, c.PointsPerPredicate)
 	for i := range m.defaultPoints {
@@ -222,7 +241,7 @@ func (m *Model) targetSubpops() int {
 func (m *Model) Train() error {
 	n := len(m.observations)
 	if n == 0 {
-		m.subpops, m.weights = nil, nil
+		m.subpops, m.weights, m.compiled = nil, nil, nil
 		m.trained = true
 		m.lastIters = 0
 		return nil
@@ -231,7 +250,7 @@ func (m *Model) Train() error {
 	centers := m.sampleCenters(m.targetSubpops())
 	if len(centers) == 0 {
 		// All observed predicates were empty boxes; fall back to uniform.
-		m.subpops, m.weights = nil, nil
+		m.subpops, m.weights, m.compiled = nil, nil, nil
 		m.trained = true
 		m.lastIters = 0
 		return nil
@@ -239,7 +258,7 @@ func (m *Model) Train() error {
 	m.subpops = m.sizeSubpopulations(centers)
 
 	q, a, s := m.assemble()
-	prob := &qp.Problem{Q: q, A: a, S: s, Lambda: m.cfg.Lambda}
+	prob := &qp.Problem{Q: q, A: a, S: s, Lambda: m.cfg.Lambda, Workers: m.cfg.Workers}
 	if m.cfg.UseIterativeSolver {
 		res, err := qp.SolveIterative(prob, qp.IterativeOptions{Project: true})
 		if err != nil {
@@ -255,6 +274,7 @@ func (m *Model) Train() error {
 		m.weights = w
 		m.lastIters = 0
 	}
+	m.compiled = compile(m.subpops, m.weights)
 	m.trained = true
 	return nil
 }
@@ -298,35 +318,56 @@ func (m *Model) sizeSubpopulations(centers [][]float64) []geom.Box {
 // assemble forms the QP data of Theorem 1. Row 0 of A is the default query
 // (P0, 1) over the whole domain, guaranteeing Σ w ≈ 1; rows 1..n are the
 // observed queries.
+//
+// This is the O(m²·d) hot loop of training. The subpopulations are packed
+// into a flat SoA BoxSet once, and rows of Q and A are computed in parallel:
+// every matrix entry is an independent product, and each worker chunk writes
+// disjoint rows, so the assembled matrices are bit-identical for every
+// worker count.
 func (m *Model) assemble() (q, a *linalg.Matrix, s []float64) {
-	sub := m.subpops
-	mm := len(sub)
+	set := geom.BoxSetOf(m.subpops)
+	mm := set.Len()
+	workers := par.Workers(m.cfg.Workers)
 	invVol := make([]float64, mm)
-	for i, g := range sub {
-		invVol[i] = 1 / g.Volume()
+	for i := range invVol {
+		invVol[i] = 1 / set.Volume(i)
 	}
 	q = linalg.NewMatrix(mm, mm)
-	for i := 0; i < mm; i++ {
-		q.Set(i, i, invVol[i])
-		for j := i + 1; j < mm; j++ {
-			v := sub[i].IntersectionVolume(sub[j]) * invVol[i] * invVol[j]
-			q.Set(i, j, v)
-			q.Set(j, i, v)
+	par.For(workers, mm, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := q.Data[i*mm:]
+			row[i] = invVol[i]
+			for j := i + 1; j < mm; j++ {
+				row[j] = set.IntersectionVolume(i, j) * invVol[i] * invVol[j]
+			}
 		}
-	}
+	})
+	// Mirror the strict lower triangle; chunks write disjoint columns.
+	par.For(workers, mm, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := i + 1; j < mm; j++ {
+				q.Data[j*mm+i] = q.Data[i*mm+j]
+			}
+		}
+	})
 	n := len(m.observations)
 	a = linalg.NewMatrix(n+1, mm)
 	s = make([]float64, n+1)
 	s[0] = 1
-	for j := 0; j < mm; j++ {
-		a.Set(0, j, 1) // subpopulations live inside B0, so |B0∩Gj|/|Gj| = 1
+	row0 := a.Row(0)
+	for j := range row0 {
+		row0[j] = 1 // subpopulations live inside B0, so |B0∩Gj|/|Gj| = 1
 	}
-	for i, o := range m.observations {
-		s[i+1] = o.sel
-		for j := 0; j < mm; j++ {
-			a.Set(i+1, j, o.box.IntersectionVolume(sub[j])*invVol[j])
+	par.For(workers, n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			o := &m.observations[i]
+			s[i+1] = o.sel
+			row := a.Row(i + 1)
+			for j := 0; j < mm; j++ {
+				row[j] = set.CornersIntersectionVolume(j, o.box.Lo, o.box.Hi) * invVol[j]
+			}
 		}
-	}
+	})
 	return q, a, s
 }
 
@@ -341,6 +382,10 @@ func (m *Model) ensureTrained() error {
 // Estimate returns the model's selectivity estimate for a normalized box,
 // clamped to [0,1]. With no trained subpopulations the model is the uniform
 // prior, whose estimate is the box volume (|B|/|B0| with |B0| = 1).
+//
+// The hot path is allocation-free: the query box is clipped into the
+// model's reusable scratch corners and evaluated against the compiled
+// (pruned, pre-divided, SoA) form of the trained mixture.
 func (m *Model) Estimate(box geom.Box) (float64, error) {
 	if box.Dim() != m.cfg.Dim {
 		return 0, fmt.Errorf("core: query box has dim %d, model has %d", box.Dim(), m.cfg.Dim)
@@ -348,17 +393,24 @@ func (m *Model) Estimate(box geom.Box) (float64, error) {
 	if err := m.ensureTrained(); err != nil {
 		return 0, err
 	}
-	b := box.Clip(m.unit)
+	// Clip into the unit cube without the two per-call slice allocations.
+	d := m.cfg.Dim
+	box.ClipInto(m.unit, m.qlo, m.qhi)
 	if len(m.subpops) == 0 {
-		return b.Volume(), nil
+		// Uniform prior: the estimate is the clipped box volume.
+		v := 1.0
+		for k := 0; k < d; k++ {
+			side := m.qhi[k] - m.qlo[k]
+			if side <= 0 {
+				return 0, nil
+			}
+			v *= side
+		}
+		return v, nil
 	}
 	var est float64
-	for j, g := range m.subpops {
-		w := m.weights[j]
-		if w == 0 {
-			continue
-		}
-		est += w * b.IntersectionVolume(g) / g.Volume()
+	if m.compiled != nil {
+		est = m.compiled.estimate(m.qlo, m.qhi)
 	}
 	if est < 0 {
 		est = 0

@@ -51,6 +51,11 @@ type SnapshotConfig struct {
 	Lambda             float64 `json:"lambda"`
 	Seed               int64   `json:"seed"`
 	UseIterativeSolver bool    `json:"use_iterative_solver,omitempty"`
+	// Workers is a runtime knob, not model state — every worker count trains
+	// bit-identically — but it is persisted so a restored model (and the
+	// serving daemon's snapshot-clone retraining path) keeps the operator's
+	// parallelism cap.
+	Workers int `json:"workers,omitempty"`
 }
 
 func configToSnapshot(c Config) SnapshotConfig {
@@ -64,6 +69,7 @@ func configToSnapshot(c Config) SnapshotConfig {
 		Lambda:             c.Lambda,
 		Seed:               c.Seed,
 		UseIterativeSolver: c.UseIterativeSolver,
+		Workers:            c.Workers,
 	}
 }
 
@@ -78,6 +84,7 @@ func (s SnapshotConfig) config() Config {
 		Lambda:             s.Lambda,
 		Seed:               s.Seed,
 		UseIterativeSolver: s.UseIterativeSolver,
+		Workers:            s.Workers,
 	}
 }
 
@@ -163,7 +170,7 @@ func Restore(s *Snapshot) (*Model, error) {
 		return nil, fmt.Errorf("core: snapshot has invalid Lambda %g", cfg.Lambda)
 	}
 	if cfg.FixedSubpops < 0 || cfg.SubpopsPerQuery < 0 || cfg.MaxSubpops < 0 ||
-		cfg.PointsPerPredicate < 0 || cfg.NearestCenters < 0 {
+		cfg.PointsPerPredicate < 0 || cfg.NearestCenters < 0 || cfg.Workers < 0 {
 		return nil, fmt.Errorf("core: snapshot has negative configuration value")
 	}
 	if len(s.Weights) != len(s.Subpops) {
@@ -174,6 +181,8 @@ func Restore(s *Snapshot) (*Model, error) {
 		cfg:  cfg.withDefaults(),
 		rng:  rand.New(rand.NewSource(cfg.Seed)),
 		unit: geom.Unit(cfg.Dim),
+		qlo:  make([]float64, cfg.Dim),
+		qhi:  make([]float64, cfg.Dim),
 	}
 	checkPoint := func(p []float64, what string) error {
 		if len(p) != cfg.Dim {
@@ -246,5 +255,10 @@ func Restore(s *Snapshot) (*Model, error) {
 		}
 	}
 	m.trained = s.Trained
+	// Rebuild the compiled serving form so a restored model estimates on the
+	// same allocation-free fast path as a freshly trained one.
+	if m.trained && len(m.subpops) > 0 {
+		m.compiled = compile(m.subpops, m.weights)
+	}
 	return m, nil
 }

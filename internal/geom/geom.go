@@ -208,19 +208,30 @@ func (b Box) IntersectionVolume(other Box) float64 {
 // Clip returns b intersected with bounds, clamping rather than dropping: the
 // result is always a valid (possibly empty) box lying inside bounds.
 func (b Box) Clip(bounds Box) Box {
-	out := b.Clone()
-	for i := range out.Lo {
-		if out.Lo[i] < bounds.Lo[i] {
-			out.Lo[i] = bounds.Lo[i]
+	lo := make([]float64, len(b.Lo))
+	hi := make([]float64, len(b.Hi))
+	b.ClipInto(bounds, lo, hi)
+	return Box{Lo: lo, Hi: hi}
+}
+
+// ClipInto writes the corners of b clipped to bounds into lo and hi (each of
+// length Dim). It is Clip without the two slice allocations — the serving
+// hot path clips every query box into reusable scratch corners — and the
+// single source of the clamp semantics Clip exposes.
+func (b Box) ClipInto(bounds Box, lo, hi []float64) {
+	for i := range b.Lo {
+		l, h := b.Lo[i], b.Hi[i]
+		if l < bounds.Lo[i] {
+			l = bounds.Lo[i]
 		}
-		if out.Hi[i] > bounds.Hi[i] {
-			out.Hi[i] = bounds.Hi[i]
+		if h > bounds.Hi[i] {
+			h = bounds.Hi[i]
 		}
-		if out.Hi[i] < out.Lo[i] {
-			out.Hi[i] = out.Lo[i]
+		if h < l {
+			h = l
 		}
+		lo[i], hi[i] = l, h
 	}
-	return out
 }
 
 // BoundingBox returns the smallest box containing both arguments.

@@ -1,0 +1,68 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomBoxes(rng *rand.Rand, n, dim int) []Box {
+	boxes := make([]Box, n)
+	for i := range boxes {
+		lo := make([]float64, dim)
+		hi := make([]float64, dim)
+		for d := 0; d < dim; d++ {
+			a, b := rng.Float64(), rng.Float64()
+			if a > b {
+				a, b = b, a
+			}
+			lo[d], hi[d] = a, b
+		}
+		boxes[i] = Box{Lo: lo, Hi: hi}
+	}
+	return boxes
+}
+
+// BoxSet volumes and intersection volumes must be bit-identical to the Box
+// methods on the same corners — training determinism depends on it.
+func TestBoxSetMatchesBoxExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, dim := range []int{1, 2, 5} {
+		boxes := randomBoxes(rng, 40, dim)
+		// Mix in degenerate and touching boxes.
+		boxes = append(boxes, boxes[0].Clone())
+		boxes[len(boxes)-1].Hi[0] = boxes[len(boxes)-1].Lo[0] // collapsed side
+		set := BoxSetOf(boxes)
+		if set.Len() != len(boxes) || set.Dim() != dim {
+			t.Fatalf("dim=%d: Len/Dim = %d/%d, want %d/%d", dim, set.Len(), set.Dim(), len(boxes), dim)
+		}
+		for i := range boxes {
+			if got, want := set.Volume(i), boxes[i].Volume(); got != want {
+				t.Fatalf("dim=%d: Volume(%d) = %v, want %v", dim, i, got, want)
+			}
+			if !set.Box(i).Equal(boxes[i]) {
+				t.Fatalf("dim=%d: Box(%d) round-trip mismatch", dim, i)
+			}
+			for j := range boxes {
+				got := set.IntersectionVolume(i, j)
+				want := boxes[i].IntersectionVolume(boxes[j])
+				if got != want {
+					t.Fatalf("dim=%d: IntersectionVolume(%d,%d) = %v, want %v", dim, i, j, got, want)
+				}
+				got = set.CornersIntersectionVolume(i, boxes[j].Lo, boxes[j].Hi)
+				if got != want {
+					t.Fatalf("dim=%d: CornersIntersectionVolume(%d,%d) = %v, want %v", dim, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBoxSetAppendMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Append with wrong dimension should panic")
+		}
+	}()
+	s := NewBoxSet(2, 1)
+	s.Append(Unit(3))
+}

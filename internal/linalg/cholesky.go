@@ -3,7 +3,15 @@ package linalg
 import (
 	"fmt"
 	"math"
+
+	"quicksel/internal/par"
 )
+
+// choleskyBlock is the panel width of the blocked factorization. 64 columns
+// keep a panel row (64×8 bytes) plus the updated row inside L1 while the
+// trailing update streams the lower triangle once per panel instead of once
+// per column.
+const choleskyBlock = 64
 
 // Cholesky holds the lower-triangular factor L of an SPD matrix M = L·Lᵀ.
 type Cholesky struct {
@@ -11,38 +19,112 @@ type Cholesky struct {
 	l []float64 // row-major lower triangle, full n×n storage
 }
 
-// NewCholesky factors the symmetric positive-definite matrix m. It returns
-// ErrNotSPD if a pivot is non-positive at working precision. The input is
-// not modified.
-func NewCholesky(m *Matrix) (*Cholesky, error) {
+// NewCholesky factors the symmetric positive-definite matrix m on all
+// available cores. It returns ErrNotSPD if a pivot is non-positive at
+// working precision. The input is not modified.
+func NewCholesky(m *Matrix) (*Cholesky, error) { return NewCholeskyWorkers(m, 0) }
+
+// NewCholeskyWorkers is NewCholesky with an explicit worker count (0 =
+// GOMAXPROCS, 1 = sequential).
+//
+// The algorithm is a blocked right-looking factorization: factor a
+// choleskyBlock-wide diagonal block, solve the panel below it, then apply
+// the panel's rank-nb update to the trailing lower triangle. The panel solve
+// and trailing update are parallel across row chunks. Every element
+// nevertheless accumulates its subtractions in exactly the order of the
+// textbook unblocked left-looking loop — one product at a time, k ascending
+// from 0 — and chunks write disjoint rows, so the factor is bit-identical
+// for every worker count and block size (intermediate stores do not change
+// IEEE-754 results; each operation rounds to float64 either way).
+func NewCholeskyWorkers(m *Matrix, workers int) (*Cholesky, error) {
 	if m.Rows != m.Cols {
 		return nil, fmt.Errorf("linalg: Cholesky of non-square %d×%d matrix", m.Rows, m.Cols)
 	}
 	n := m.Rows
 	l := make([]float64, n*n)
 	copy(l, m.Data)
-	for j := 0; j < n; j++ {
-		// Diagonal pivot: l_jj = sqrt(m_jj - Σ_k<j l_jk²).
-		d := l[j*n+j]
-		for k := 0; k < j; k++ {
-			d -= l[j*n+k] * l[j*n+k]
+	workers = par.Workers(workers)
+	// Row-chunk grain for the panel solve and trailing update: fine enough
+	// to balance the triangular row costs, coarse enough that chunk claiming
+	// is noise.
+	grain := n / (workers * 8)
+	if grain < 8 {
+		grain = 8
+	}
+	var spdErr error
+	for p := 0; p < n; p += choleskyBlock {
+		pe := p + choleskyBlock
+		if pe > n {
+			pe = n
 		}
-		if d <= 0 || math.IsNaN(d) {
-			return nil, ErrNotSPD
-		}
-		d = math.Sqrt(d)
-		l[j*n+j] = d
-		inv := 1 / d
-		// Column below the pivot.
-		for i := j + 1; i < n; i++ {
-			s := l[i*n+j]
-			li := l[i*n:]
+		// Factor the diagonal block l[p:pe, p:pe]. Previous panels already
+		// subtracted their contributions (trailing update below), so only
+		// within-panel columns k ∈ [p, j) remain — continuing each element's
+		// ascending-k subtraction sequence.
+		for j := p; j < pe; j++ {
 			lj := l[j*n:]
-			for k := 0; k < j; k++ {
-				s -= li[k] * lj[k]
+			d := lj[j]
+			for k := p; k < j; k++ {
+				d -= lj[k] * lj[k]
 			}
-			l[i*n+j] = s * inv
+			if d <= 0 || math.IsNaN(d) {
+				spdErr = ErrNotSPD
+				break
+			}
+			d = math.Sqrt(d)
+			lj[j] = d
+			inv := 1 / d
+			for i := j + 1; i < pe; i++ {
+				li := l[i*n:]
+				s := li[j]
+				for k := p; k < j; k++ {
+					s -= li[k] * lj[k]
+				}
+				li[j] = s * inv
+			}
 		}
+		if spdErr != nil {
+			break
+		}
+		if pe == n {
+			break
+		}
+		invDiag := make([]float64, pe-p)
+		for j := p; j < pe; j++ {
+			invDiag[j-p] = 1 / l[j*n+j]
+		}
+		// Panel solve: rows below the diagonal block, parallel over rows.
+		par.For(workers, n-pe, grain, func(lo, hi int) {
+			for i := pe + lo; i < pe+hi; i++ {
+				li := l[i*n:]
+				for j := p; j < pe; j++ {
+					lj := l[j*n:]
+					s := li[j]
+					for k := p; k < j; k++ {
+						s -= li[k] * lj[k]
+					}
+					li[j] = s * invDiag[j-p]
+				}
+			}
+		})
+		// Trailing update: subtract the panel's contribution from the
+		// remaining lower triangle (diagonal included), parallel over rows.
+		par.For(workers, n-pe, grain, func(lo, hi int) {
+			for i := pe + lo; i < pe+hi; i++ {
+				li := l[i*n:]
+				for j := pe; j <= i; j++ {
+					lj := l[j*n:]
+					s := li[j]
+					for k := p; k < pe; k++ {
+						s -= li[k] * lj[k]
+					}
+					li[j] = s
+				}
+			}
+		})
+	}
+	if spdErr != nil {
+		return nil, spdErr
 	}
 	// Zero the strict upper triangle so the factor is clean.
 	for i := 0; i < n; i++ {
@@ -88,6 +170,12 @@ func (c *Cholesky) Solve(b []float64) []float64 {
 // boxes coincide; a relative ridge restores definiteness without visibly
 // perturbing the weights (DESIGN.md §5.2). It returns the ridge used.
 func SolveSPD(m *Matrix, b []float64) (x []float64, ridge float64, err error) {
+	return SolveSPDWorkers(m, b, 0)
+}
+
+// SolveSPDWorkers is SolveSPD with an explicit worker count for the
+// factorization (0 = GOMAXPROCS, 1 = sequential).
+func SolveSPDWorkers(m *Matrix, b []float64, workers int) (x []float64, ridge float64, err error) {
 	if m.Rows != m.Cols {
 		return nil, 0, fmt.Errorf("linalg: SolveSPD of non-square %d×%d matrix", m.Rows, m.Cols)
 	}
@@ -113,7 +201,7 @@ func SolveSPD(m *Matrix, b []float64) (x []float64, ridge float64, err error) {
 			}
 			ridge = add
 		}
-		ch, cerr := NewCholesky(work)
+		ch, cerr := NewCholeskyWorkers(work, workers)
 		if cerr == nil {
 			return ch.Solve(b), ridge, nil
 		}

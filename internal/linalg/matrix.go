@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"quicksel/internal/par"
 )
 
 // ErrNotSPD is returned when a Cholesky factorization encounters a
@@ -100,32 +102,46 @@ func (m *Matrix) TransposeMulVec(y []float64) []float64 {
 }
 
 // AddScaledGram accumulates dst += scale · (mᵀ m), where dst is Cols×Cols.
-// This forms the λAᵀA term of Problem 3 in a single pass, exploiting
-// symmetry (only the upper triangle is computed, then mirrored).
+// This forms the λAᵀA term of Problem 3, exploiting symmetry (only the upper
+// triangle is computed, then mirrored). It runs on all available cores; see
+// AddScaledGramWorkers.
 func (m *Matrix) AddScaledGram(dst *Matrix, scale float64) {
+	m.AddScaledGramWorkers(dst, scale, 0)
+}
+
+// AddScaledGramWorkers is AddScaledGram with an explicit worker count (0 =
+// GOMAXPROCS, 1 = sequential). Parallelism is across destination rows, and
+// each element of dst accumulates its k-products in ascending order whatever
+// the worker count, so the result is bit-identical to the sequential pass.
+func (m *Matrix) AddScaledGramWorkers(dst *Matrix, scale float64, workers int) {
 	if dst.Rows != m.Cols || dst.Cols != m.Cols {
 		panic("linalg: AddScaledGram destination must be Cols×Cols")
 	}
 	n := m.Cols
-	for k := 0; k < m.Rows; k++ {
-		row := m.Row(k)
-		for i := 0; i < n; i++ {
-			ri := row[i]
-			if ri == 0 {
-				continue
-			}
-			sri := scale * ri
+	par.For(workers, n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
 			di := dst.Data[i*n:]
-			for j := i; j < n; j++ {
-				di[j] += sri * row[j]
+			for k := 0; k < m.Rows; k++ {
+				row := m.Row(k)
+				ri := row[i]
+				if ri == 0 {
+					continue
+				}
+				sri := scale * ri
+				for j := i; j < n; j++ {
+					di[j] += sri * row[j]
+				}
 			}
 		}
-	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			dst.Data[j*n+i] = dst.Data[i*n+j]
+	})
+	// Mirror the upper triangle; chunks write disjoint columns.
+	par.For(workers, n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := i + 1; j < n; j++ {
+				dst.Data[j*n+i] = dst.Data[i*n+j]
+			}
 		}
-	}
+	})
 }
 
 // SymmetricError returns the largest absolute asymmetry |m_ij - m_ji| of a

@@ -1,0 +1,68 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRangeOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			for _, grain := range []int{0, 1, 3, 1000} {
+				hits := make([]int32, n)
+				For(workers, n, grain, func(lo, hi int) {
+					if lo < 0 || hi > n || lo >= hi {
+						t.Errorf("workers=%d n=%d grain=%d: bad chunk [%d,%d)", workers, n, grain, lo, hi)
+						return
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				})
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("workers=%d n=%d grain=%d: index %d visited %d times", workers, n, grain, i, h)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestForDisjointWritesDeterministic(t *testing.T) {
+	// Under the disjoint-writes contract, every worker count must produce the
+	// same output slice.
+	n := 513
+	run := func(workers int) []float64 {
+		out := make([]float64, n)
+		For(workers, n, 7, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := float64(i)
+				out[i] = v*v*1e-3 + v
+			}
+		})
+		return out
+	}
+	want := run(1)
+	for _, workers := range []int{2, 5, 16} {
+		got := run(workers)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d, want 3", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-2); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-2) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}

@@ -31,6 +31,10 @@ type Problem struct {
 	A      *linalg.Matrix
 	S      []float64
 	Lambda float64 // penalty weight; 0 means DefaultLambda
+	// Workers bounds the goroutines of the parallel kernels (Gram product,
+	// Cholesky panels): 0 = GOMAXPROCS, 1 = sequential. The solution is
+	// bit-identical for every worker count.
+	Workers int
 }
 
 // Validate checks dimensional consistency of the problem.
@@ -64,7 +68,7 @@ func (p *Problem) lambda() float64 {
 func (p *Problem) assemble() (*linalg.Matrix, []float64) {
 	lam := p.lambda()
 	m := p.Q.Clone()
-	p.A.AddScaledGram(m, lam)
+	p.A.AddScaledGramWorkers(m, lam, p.Workers)
 	rhs := p.A.TransposeMulVec(p.S)
 	linalg.Scale(lam, rhs)
 	return m, rhs
@@ -78,7 +82,7 @@ func SolveAnalytic(p *Problem) ([]float64, error) {
 		return nil, err
 	}
 	m, rhs := p.assemble()
-	w, _, err := linalg.SolveSPD(m, rhs)
+	w, _, err := linalg.SolveSPDWorkers(m, rhs, p.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("qp: analytic solve: %w", err)
 	}

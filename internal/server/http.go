@@ -18,15 +18,16 @@ type Server struct {
 	mux *http.ServeMux
 
 	// Request counters by endpoint, exposed on /metrics.
-	reqCreate   atomic.Uint64
-	reqObserve  atomic.Uint64
-	reqEstimate atomic.Uint64
-	reqList     atomic.Uint64
-	reqTrain    atomic.Uint64
-	reqDrop     atomic.Uint64
-	reqSnapshot atomic.Uint64
-	reqMetrics  atomic.Uint64
-	reqErrors   atomic.Uint64
+	reqCreate        atomic.Uint64
+	reqObserve       atomic.Uint64
+	reqEstimate      atomic.Uint64
+	reqEstimateBatch atomic.Uint64
+	reqList          atomic.Uint64
+	reqTrain         atomic.Uint64
+	reqDrop          atomic.Uint64
+	reqSnapshot      atomic.Uint64
+	reqMetrics       atomic.Uint64
+	reqErrors        atomic.Uint64
 }
 
 // New builds the server and its registry.
@@ -41,6 +42,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("DELETE /v1/estimators/{name}", s.handleDrop)
 	s.mux.HandleFunc("POST /v1/{name}/observe", s.handleObserve)
 	s.mux.HandleFunc("GET /v1/{name}/estimate", s.handleEstimate)
+	s.mux.HandleFunc("POST /v1/{name}/estimate/batch", s.handleEstimateBatch)
 	s.mux.HandleFunc("POST /v1/{name}/train", s.handleTrain)
 	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -106,6 +108,7 @@ type createOptions struct {
 	PointsPerPredicate int     `json:"points_per_predicate,omitempty"`
 	Lambda             float64 `json:"lambda,omitempty"`
 	IterativeSolver    bool    `json:"iterative_solver,omitempty"`
+	Workers            int     `json:"workers,omitempty"`
 }
 
 func (o *createOptions) toOptions() []quicksel.Option {
@@ -133,6 +136,9 @@ func (o *createOptions) toOptions() []quicksel.Option {
 	}
 	if o.IterativeSolver {
 		opts = append(opts, quicksel.WithIterativeSolver())
+	}
+	if o.Workers > 0 {
+		opts = append(opts, quicksel.WithWorkers(o.Workers))
 	}
 	return opts
 }
@@ -245,6 +251,54 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		"estimator":   name,
 		"where":       where,
 		"selectivity": sel,
+	})
+}
+
+// estimateBatchRequest is the body of POST /v1/{name}/estimate/batch.
+type estimateBatchRequest struct {
+	Wheres []string `json:"wheres"`
+}
+
+// MaxEstimateBatch bounds one batch-estimate request. The whole batch is
+// answered under a single estimator lock acquisition (that is the point —
+// one model generation, amortized locking), so an unbounded batch would let
+// one client stall every other estimate and the background trainer's
+// snapshot step on that estimator.
+const MaxEstimateBatch = 4096
+
+// handleEstimateBatch serves many estimates in one request, amortizing HTTP
+// and JSON overhead, predicate parsing, and estimator lock acquisition
+// across the batch. Selectivities are returned in input order.
+func (s *Server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
+	s.reqEstimateBatch.Add(1)
+	name := r.PathValue("name")
+	var req estimateBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if len(req.Wheres) == 0 {
+		s.writeError(w, fmt.Errorf("request needs a non-empty wheres array"))
+		return
+	}
+	if len(req.Wheres) > MaxEstimateBatch {
+		s.writeError(w, fmt.Errorf("batch of %d exceeds the %d-clause limit; split the request", len(req.Wheres), MaxEstimateBatch))
+		return
+	}
+	for i, where := range req.Wheres {
+		if where == "" {
+			s.writeError(w, fmt.Errorf("estimate %d: empty where clause", i))
+			return
+		}
+	}
+	sels, err := s.reg.EstimateBatch(name, req.Wheres)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"estimator":     name,
+		"selectivities": sels,
 	})
 }
 

@@ -20,6 +20,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("quickseld_requests_create_total", "POST /v1/estimators requests served.", s.reqCreate.Load())
 	counter("quickseld_requests_observe_total", "Observe requests served.", s.reqObserve.Load())
 	counter("quickseld_requests_estimate_total", "Estimate requests served.", s.reqEstimate.Load())
+	counter("quickseld_requests_estimate_batch_total", "Batch estimate requests served.", s.reqEstimateBatch.Load())
 	counter("quickseld_requests_train_total", "Explicit train requests served.", s.reqTrain.Load())
 	counter("quickseld_requests_list_total", "List requests served.", s.reqList.Load())
 	counter("quickseld_requests_drop_total", "Drop requests served.", s.reqDrop.Load())

@@ -290,6 +290,27 @@ func (r *Registry) Estimate(name, where string) (float64, error) {
 	return sel, nil
 }
 
+// EstimateBatch serves one estimate per WHERE clause, in input order, from
+// the estimator's current serving model. The whole batch runs against a
+// single model reference, so a concurrent background swap cannot split a
+// batch across two model generations; parsing and lock acquisition are
+// amortized across the batch. An unparsable clause fails the whole batch.
+func (r *Registry) EstimateBatch(name string, wheres []string) ([]float64, error) {
+	st, err := r.state(name)
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	est := st.serving
+	st.mu.Unlock()
+	sels, err := est.EstimateBatchWhere(wheres)
+	if err != nil {
+		return nil, err
+	}
+	st.estimateTotal.Add(uint64(len(sels)))
+	return sels, nil
+}
+
 // Train synchronously flushes the named estimator's pending observations
 // and retrains it (all estimators when name is ""). It exists so callers —
 // tests, admin tooling — can force a deterministic point-in-time model.

@@ -48,3 +48,12 @@ func WithLambda(lambda float64) Option {
 func WithIterativeSolver() Option {
 	return func(c *core.Config) { c.UseIterativeSolver = true }
 }
+
+// WithWorkers bounds the goroutines used by the parallel training kernels
+// (Q-matrix assembly, the Gram product, the blocked Cholesky). 0 — the
+// default — uses GOMAXPROCS; 1 forces the sequential path. Every worker
+// count produces bit-identical weights, so the knob trades cores for
+// training wall clock without affecting estimates or snapshots.
+func WithWorkers(n int) Option {
+	return func(c *core.Config) { c.Workers = n }
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"quicksel/internal/core"
+	"quicksel/internal/geom"
 	"quicksel/internal/predicate"
 )
 
@@ -145,6 +146,47 @@ func (e *Estimator) Estimate(p *Predicate) (float64, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.model.EstimateUnion(boxes)
+}
+
+// EstimateBatch returns the estimated selectivity of each predicate, in
+// input order. All predicates are lowered to boxes before the estimator
+// lock is taken, and the lock is then acquired once for the whole batch, so
+// a large batch costs one lock acquisition instead of one per predicate. A
+// lowering error fails the whole batch and names the offending index.
+func (e *Estimator) EstimateBatch(preds []*Predicate) ([]float64, error) {
+	lowered := make([][]geom.Box, len(preds))
+	for i, p := range preds {
+		boxes, err := p.Boxes(e.schema)
+		if err != nil {
+			return nil, fmt.Errorf("quicksel: estimate %d: %w", i, err)
+		}
+		lowered[i] = boxes
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]float64, len(preds))
+	for i, boxes := range lowered {
+		sel, err := e.model.EstimateUnion(boxes)
+		if err != nil {
+			return nil, fmt.Errorf("quicksel: estimate %d: %w", i, err)
+		}
+		out[i] = sel
+	}
+	return out, nil
+}
+
+// EstimateBatchWhere is EstimateBatch with parsed WHERE clauses: parsing and
+// lowering are amortized outside the estimator lock.
+func (e *Estimator) EstimateBatchWhere(wheres []string) ([]float64, error) {
+	preds := make([]*Predicate, len(wheres))
+	for i, w := range wheres {
+		p, err := Parse(e.schema, w)
+		if err != nil {
+			return nil, fmt.Errorf("quicksel: estimate %d: %w", i, err)
+		}
+		preds[i] = p
+	}
+	return e.EstimateBatch(preds)
 }
 
 // NumObserved returns the number of observed queries recorded so far.
