@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Docs-freshness check: fails when the documentation layer drifts from the
+# code. Two invariants:
+#
+#   1. ARCHITECTURE.md mentions every package under internal/ — adding a
+#      package without placing it on the map is a CI failure.
+#   2. docs/API.md mentions every HTTP route registered in
+#      internal/server/http.go — adding or renaming an endpoint without
+#      documenting it is a CI failure.
+#
+# Run from the repository root: ./ci/check_docs.sh
+set -u
+
+fail=0
+
+if [ ! -f ARCHITECTURE.md ]; then
+    echo "ci/check_docs.sh: ARCHITECTURE.md is missing" >&2
+    exit 1
+fi
+if [ ! -f docs/API.md ]; then
+    echo "ci/check_docs.sh: docs/API.md is missing" >&2
+    exit 1
+fi
+
+# 1. Every internal package appears in ARCHITECTURE.md.
+for dir in internal/*/; do
+    pkg=$(basename "$dir")
+    if ! grep -q "internal/$pkg" ARCHITECTURE.md; then
+        echo "ARCHITECTURE.md does not mention internal/$pkg" >&2
+        fail=1
+    fi
+done
+
+# 2. Every registered route appears in docs/API.md. Routes are the
+# 'METHOD /path' strings handed to mux.HandleFunc in internal/server/http.go.
+routes=$(grep -ohE '"(GET|POST|PUT|DELETE|PATCH) [^" ]+"' internal/server/http.go | tr -d '"' | sort -u)
+if [ -z "$routes" ]; then
+    echo "ci/check_docs.sh: found no registered routes in internal/server (pattern drift?)" >&2
+    fail=1
+fi
+while IFS= read -r route; do
+    path=${route#* }
+    if ! grep -qF "$path" docs/API.md; then
+        echo "docs/API.md does not mention route '$route'" >&2
+        fail=1
+    fi
+done <<EOF
+$routes
+EOF
+
+if [ "$fail" -ne 0 ]; then
+    echo "ci/check_docs.sh: documentation is stale (see above)" >&2
+    exit 1
+fi
+echo "ci/check_docs.sh: ARCHITECTURE.md and docs/API.md cover all packages and routes"

@@ -23,7 +23,10 @@
 //	ablcap       Ablation: subpopulation cap
 //	ablscaling   Ablation: published vs optimized iterative scaling
 //	ablmixture   Ablation: uniform vs Gaussian mixture model
-//	all          run everything above in order
+//	compare      per-method accuracy/latency over one workload, through the
+//	             pluggable serving backends (quicksel + all five baselines)
+//	perf         training/serving kernel micro-benchmarks
+//	all          run every experiment above in order
 package main
 
 import (
@@ -52,6 +55,7 @@ func run(args []string) error {
 		fmt.Fprintln(fs.Output(), "usage: quickselbench <experiment> [flags]")
 		fmt.Fprintln(fs.Output(), "experiments: table3 fig3 fig4 fig5 fig6 fig7a fig7b fig7c fig7d")
 		fmt.Fprintln(fs.Output(), "             abllambda ablpoints ablsolver ablcap ablscaling ablmixture all")
+		fmt.Fprintln(fs.Output(), "             compare (per-method accuracy/latency over the serving backends)")
 		fmt.Fprintln(fs.Output(), "             perf (training/serving kernel micro-benchmarks -> BENCH_quicksel.json)")
 		fs.PrintDefaults()
 	}
@@ -76,9 +80,12 @@ func run(args []string) error {
 		start := time.Now()
 		var rendered string
 		var err error
-		if n == "perf" {
+		switch n {
+		case "perf":
 			rendered, err = runPerf(*out, *maxM)
-		} else {
+		case "compare":
+			rendered, err = runCompare(*dataset, *rows, *maxN, *seed)
+		default:
 			rendered, err = dispatch(n, *dataset, *rows, *maxN, *seed)
 		}
 		if err != nil {

@@ -1,26 +1,30 @@
-// Command quickseld is the QuickSel selectivity-serving daemon: a long-lived
+// Command quickseld is the selectivity-serving daemon: a long-lived
 // HTTP/JSON service hosting named estimators, with background training and
-// durable model snapshots.
+// durable model snapshots. Each estimator is backed by a pluggable
+// estimation method — QuickSel's mixture model by default, or one of the
+// paper's baselines (sthole, isomer, maxent, sample, scanhist) selected by
+// the create request's "method" field — behind one uniform API.
 //
 // Usage:
 //
 //	quickseld -addr :7075 -snapshot /var/lib/quickseld/state.json
 //
-// Endpoints:
+// Endpoints (full reference with request/response bodies: docs/API.md):
 //
-//	POST   /v1/estimators          create an estimator from a JSON schema
-//	GET    /v1/estimators          list estimators with serving stats
-//	DELETE /v1/estimators/{name}   drop an estimator
-//	POST   /v1/{name}/observe      ingest one observation or a batch
-//	GET    /v1/{name}/estimate     estimate a WHERE clause (?where=...)
-//	POST   /v1/{name}/train        synchronously flush + retrain
-//	POST   /v1/snapshot            force a snapshot write
-//	GET    /metrics                Prometheus metrics
-//	GET    /healthz                liveness probe
+//	POST   /v1/estimators            create an estimator (JSON schema + method)
+//	GET    /v1/estimators            list estimators with serving stats
+//	DELETE /v1/estimators/{name}     drop an estimator
+//	POST   /v1/{name}/observe        ingest one observation or a batch
+//	GET    /v1/{name}/estimate       estimate a WHERE clause (?where=...)
+//	POST   /v1/{name}/estimate/batch estimate many WHERE clauses in one call
+//	POST   /v1/{name}/train          synchronously flush + retrain
+//	POST   /v1/snapshot              force a snapshot write
+//	GET    /metrics                  Prometheus metrics (labeled by method)
+//	GET    /healthz                  liveness probe
 //
 // On SIGINT/SIGTERM the daemon drains in-flight requests, flushes and
 // trains every estimator, and persists a final snapshot; restarting with
-// the same -snapshot path serves identical estimates.
+// the same -snapshot path serves identical estimates for every method.
 package main
 
 import (

@@ -34,6 +34,36 @@
 //
 // The estimator is safe for concurrent use.
 //
+// # Estimation methods
+//
+// An Estimator is backed by one of six interchangeable estimation methods,
+// selected with WithMethod at construction. The default, MethodQuickSel, is
+// the paper's mixture model; the others are the baselines of the paper's
+// evaluation (§5.1), promoted to first-class servable backends:
+//
+//   - MethodQuickSel — uniform mixture model, penalized-QP fit. Best
+//     accuracy per parameter; training is one SPD solve.
+//   - MethodSTHoles — error-feedback bucket tree. Cheapest updates, bounded
+//     memory, lowest accuracy.
+//   - MethodIsomer — ISOMER max-entropy histogram, published
+//     iterative-scaling update. Strong accuracy; partition grows with the
+//     query history.
+//   - MethodMaxEnt — the same max-entropy model solved with the optimized
+//     incremental scaling update (same fixed point, much faster training).
+//   - MethodSample / MethodScanHist — the scan-based baselines (AutoSample,
+//     AutoHist) over a synthetic table materialized from the feedback
+//     stream.
+//
+// Selecting a baseline is one option:
+//
+//	est, _ := quicksel.New(schema, quicksel.WithMethod(quicksel.MethodSTHoles))
+//
+// Observe, Estimate, Train, Snapshot, and Restore behave uniformly across
+// methods; only accuracy, training cost, and memory differ. Snapshots
+// record the method, so Restore rebuilds the right backend. `quickselbench
+// compare` races all six methods over one workload and prints a
+// per-method accuracy/latency table.
+//
 // # Snapshots
 //
 // Estimator.Snapshot and Restore serialize the full model — observations,
@@ -45,11 +75,14 @@
 //
 // The repository also ships quickseld (cmd/quickseld, built on
 // internal/server): a long-lived HTTP/JSON daemon hosting a registry of
-// named estimators. It ingests observations into bounded buffers, retrains
-// dirty estimators in a background worker off the query path, exposes
-// Prometheus metrics, and persists model snapshots so a restarted daemon
-// serves identical estimates. POST /v1/{name}/estimate/batch answers many
-// WHERE clauses in one request from a single model generation.
+// named estimators, each backed by any of the six methods (the create
+// request's "method" field). It ingests observations into bounded buffers,
+// retrains dirty estimators in a background worker off the query path,
+// exposes Prometheus metrics labeled by method, and persists model
+// snapshots so a restarted daemon serves identical estimates. POST
+// /v1/{name}/estimate/batch answers many WHERE clauses in one request from
+// a single model generation. docs/API.md is the full HTTP reference;
+// ARCHITECTURE.md maps the packages and data flow.
 //
 // # Performance
 //

@@ -36,6 +36,25 @@ func ExampleParse() {
 	// Output: true
 }
 
+// ExampleWithMethod shows method selection: the same Estimator API served
+// by one of the paper's baselines instead of QuickSel's mixture model.
+// STHoles honors an observed predicate exactly, so re-asking it returns the
+// observed selectivity.
+func ExampleWithMethod() {
+	schema, _ := quicksel.NewSchema(
+		quicksel.Column{Name: "age", Kind: quicksel.Integer, Min: 0, Max: 100},
+	)
+	est, _ := quicksel.New(schema, quicksel.WithMethod(quicksel.MethodSTHoles))
+	fmt.Println(est.Method())
+
+	_ = est.ObserveWhere("age < 50", 0.8)
+	sel, _ := est.EstimateWhere("age < 50")
+	fmt.Printf("age < 50 selects %.0f%%\n", sel*100)
+	// Output:
+	// sthole
+	// age < 50 selects 80%
+}
+
 // ExampleEstimator_ObserveWhere shows the text-feedback workflow a DBMS
 // integration would use.
 func ExampleEstimator_ObserveWhere() {

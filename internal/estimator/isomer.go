@@ -1,0 +1,79 @@
+package estimator
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"quicksel/internal/geom"
+	"quicksel/internal/isomer"
+)
+
+// DefaultIsomerBuckets is the serving default for the ISOMER/max-entropy
+// partition. The offline experiments keep the package default (200,000) to
+// reproduce the paper's bucket-explosion measurement; a serving daemon
+// cannot afford an unbounded partition on its retrain path, so the serving
+// adapters cap it far lower. Once the cap is hit, refinement freezes and
+// queries that straddle existing buckets are dropped — the accuracy/cost
+// trade-off §2.3 of the paper identifies as Limitation 1.
+const DefaultIsomerBuckets = 8192
+
+// isomerBackend adapts the ISOMER max-entropy histogram. Both the "isomer"
+// and "maxent" methods serve the maximum-entropy distribution over the same
+// query-refined partition; they differ only in the update rule that finds
+// it — the published iterative scaling for "isomer", the optimized
+// incremental form (internal/maxent's fast path) for "maxent". Training is
+// lazy: the first estimate after new observations pays the scaling solve.
+type isomerBackend struct {
+	method string
+	h      *isomer.Histogram
+}
+
+func newIsomer(cfg Config) (*isomerBackend, error) {
+	maxBuckets := cfg.MaxBuckets
+	if maxBuckets == 0 {
+		maxBuckets = DefaultIsomerBuckets
+	}
+	h, err := isomer.New(isomer.Config{
+		Dim:                cfg.Dim,
+		Solver:             isomer.IterativeScaling,
+		MaxBuckets:         maxBuckets,
+		IncrementalScaling: cfg.Method == MaxEnt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &isomerBackend{method: cfg.Method, h: h}, nil
+}
+
+func (b *isomerBackend) Method() string { return b.method }
+func (b *isomerBackend) Dim() int       { return b.h.Dim() }
+
+func (b *isomerBackend) Observe(box geom.Box, sel float64) error {
+	return b.h.Observe(box, sel)
+}
+
+func (b *isomerBackend) Estimate(boxes []geom.Box) (float64, error) {
+	return estimateDisjoint(boxes, b.h.Estimate)
+}
+
+func (b *isomerBackend) Train() error { return b.h.Train() }
+
+func (b *isomerBackend) Snapshot() (json.RawMessage, error) {
+	return json.Marshal(b.h.Snapshot())
+}
+
+func restoreIsomer(method string, state json.RawMessage) (Backend, error) {
+	var s isomer.Snapshot
+	if err := json.Unmarshal(state, &s); err != nil {
+		return nil, fmt.Errorf("estimator: decode %s state: %w", method, err)
+	}
+	h, err := isomer.Restore(&s)
+	if err != nil {
+		return nil, err
+	}
+	return &isomerBackend{method: method, h: h}, nil
+}
+
+func (b *isomerBackend) Stats() Stats {
+	return Stats{Method: b.method, Observed: b.h.NumObserved(), Params: b.h.ParamCount()}
+}

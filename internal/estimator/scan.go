@@ -1,0 +1,360 @@
+package estimator
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"quicksel/internal/geom"
+	"quicksel/internal/predicate"
+	"quicksel/internal/sample"
+	"quicksel/internal/scanhist"
+	"quicksel/internal/table"
+)
+
+// Serving defaults for the scan-based backends.
+const (
+	// DefaultSampleSize is the row budget of the Sample backend.
+	DefaultSampleSize = 1000
+	// DefaultGridBuckets is the cell budget of the ScanHist backend.
+	DefaultGridBuckets = 1000
+	// DefaultRowsPerObservation is how many synthetic rows one feedback
+	// record materializes.
+	DefaultRowsPerObservation = 128
+
+	// maxScanEvents bounds the replayable event log (and with it the
+	// synthetic table, snapshot size, and per-restore replay cost — every
+	// other per-estimator structure in the daemon is bounded too). When the
+	// log exceeds the bound, the backend compacts: it bumps its generation,
+	// re-derives its random streams from (seed, generation), and rebuilds
+	// the table and statistics from the most recent half of the log — a
+	// sliding window over recent feedback, in the spirit of the baselines'
+	// own auto-refresh rules.
+	maxScanEvents = 4096
+	// scanSeedStride separates the per-generation random streams.
+	scanSeedStride = 1_000_003
+)
+
+// scanBackend adapts the paper's scan-based baselines — AutoSample
+// (internal/sample) and AutoHist (internal/scanhist) — to the query-driven
+// Backend contract. Those methods scan a base table, but a serving daemon
+// only sees (predicate, selectivity) feedback; the adapter bridges the gap
+// by materializing a synthetic table consistent with the feedback stream:
+// each observation of selectivity s over box B inserts round(s·R) rows
+// uniform in B and up to R−round(s·R) rows uniform outside it (R =
+// RowsPerObservation). The wrapped baseline then runs unchanged over that
+// table, including its auto-update statistics rule (resample/rebuild when
+// the table changes beyond its threshold).
+//
+// Every draw comes from a generator derived from (seed, generation), and
+// the backend's state is a bounded replayable event log, so
+// Snapshot/Restore is bit-identical: restoring replays the log through the
+// exact construction-time code path, stream positions included.
+type scanBackend struct {
+	method     string
+	cfg        scanConfig
+	schema     *predicate.Schema
+	generation int
+	nObs       int // total observations absorbed, across compactions
+
+	// Derived state, rebuilt on compaction and restore.
+	rng    *rand.Rand
+	tbl    *table.Table
+	smp    *sample.Sampler
+	hist   *scanhist.Histogram
+	events []scanEvent
+}
+
+// scanConfig is the serialized configuration of a scan backend.
+type scanConfig struct {
+	Dim                int   `json:"dim"`
+	Seed               int64 `json:"seed"`
+	SampleSize         int   `json:"sample_size,omitempty"`
+	GridBuckets        int   `json:"grid_buckets,omitempty"`
+	RowsPerObservation int   `json:"rows_per_observation"`
+}
+
+// scanEvent is one replayable state transition: a feedback observation, or
+// a forced statistics refresh (Train).
+type scanEvent struct {
+	Refresh bool      `json:"refresh,omitempty"`
+	Lo      []float64 `json:"lo,omitempty"`
+	Hi      []float64 `json:"hi,omitempty"`
+	Sel     float64   `json:"sel,omitempty"`
+}
+
+// scanSnapshot is the JSON state of a scan backend: configuration, the
+// compaction generation, the total-observations counter, and the (bounded)
+// event window Restore replays.
+type scanSnapshot struct {
+	Config     scanConfig  `json:"config"`
+	Generation int         `json:"generation,omitempty"`
+	Observed   int         `json:"observed,omitempty"`
+	Events     []scanEvent `json:"events"`
+}
+
+// unitSchema returns a d-column schema over [0,1] real columns, making the
+// synthetic table's raw coordinates coincide with normalized ones.
+func unitSchema(d int) (*predicate.Schema, error) {
+	cols := make([]predicate.Column, d)
+	for i := range cols {
+		cols[i] = predicate.Column{Name: fmt.Sprintf("x%d", i), Kind: predicate.Real, Min: 0, Max: 1}
+	}
+	return predicate.NewSchema(cols...)
+}
+
+func newScan(cfg Config) (*scanBackend, error) {
+	sc := scanConfig{
+		Dim:                cfg.Dim,
+		Seed:               cfg.Seed,
+		RowsPerObservation: cfg.RowsPerObservation,
+	}
+	if sc.RowsPerObservation <= 0 {
+		sc.RowsPerObservation = DefaultRowsPerObservation
+	}
+	if cfg.Method == Sample {
+		sc.SampleSize = cfg.SampleSize
+		if sc.SampleSize <= 0 {
+			sc.SampleSize = DefaultSampleSize
+		}
+	} else {
+		sc.GridBuckets = cfg.GridBuckets
+		if sc.GridBuckets <= 0 {
+			sc.GridBuckets = DefaultGridBuckets
+		}
+	}
+	return buildScan(cfg.Method, sc, 0)
+}
+
+// buildScan constructs the backend with empty derived state for the given
+// generation; shared by New, compaction, and the replay in Restore.
+func buildScan(method string, sc scanConfig, generation int) (*scanBackend, error) {
+	schema, err := unitSchema(sc.Dim)
+	if err != nil {
+		return nil, fmt.Errorf("estimator: %s backend: %w", method, err)
+	}
+	b := &scanBackend{method: method, cfg: sc, schema: schema, generation: generation}
+	if err := b.reset(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// reset re-derives the random streams from (seed, generation) and rebuilds
+// empty table/statistics substrate.
+func (b *scanBackend) reset() error {
+	// The row-synthesis stream (base) is decoupled from the wrapped
+	// sampler's own reservoir stream (base+1).
+	base := b.cfg.Seed + int64(b.generation)*scanSeedStride
+	b.rng = rand.New(rand.NewSource(base))
+	b.tbl = table.New(b.schema)
+	b.events = nil
+	var err error
+	switch b.method {
+	case Sample:
+		b.smp, err = sample.New(b.tbl, sample.Config{Size: b.cfg.SampleSize, Seed: base + 1})
+	case ScanHist:
+		b.hist, err = scanhist.New(b.tbl, scanhist.Config{Buckets: b.cfg.GridBuckets})
+	default:
+		return &UnknownMethodError{Method: b.method}
+	}
+	return err
+}
+
+func (b *scanBackend) Method() string { return b.method }
+func (b *scanBackend) Dim() int       { return b.cfg.Dim }
+
+func (b *scanBackend) Observe(box geom.Box, sel float64) error {
+	if box.Dim() != b.cfg.Dim {
+		return fmt.Errorf("estimator: %s observed box has dim %d, want %d", b.method, box.Dim(), b.cfg.Dim)
+	}
+	if err := box.Validate(); err != nil {
+		return fmt.Errorf("estimator: %s observed box: %w", b.method, err)
+	}
+	if math.IsNaN(sel) {
+		return fmt.Errorf("estimator: %s: NaN selectivity", b.method)
+	}
+	if sel < 0 {
+		sel = 0
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	clipped := box.Clip(geom.Unit(b.cfg.Dim))
+	if clipped.IsEmpty() {
+		return nil
+	}
+	return b.apply(scanEvent{Lo: clipped.Lo, Hi: clipped.Hi, Sel: sel})
+}
+
+// Train forces a statistics refresh — a resample (AutoSample) or a rescan
+// rebuild (AutoHist) — regardless of the auto-update threshold.
+func (b *scanBackend) Train() error {
+	return b.apply(scanEvent{Refresh: true})
+}
+
+// apply executes one live event, records it in the replay log, and compacts
+// when the log outgrows its bound.
+func (b *scanBackend) apply(ev scanEvent) error {
+	b.exec(ev)
+	if !ev.Refresh {
+		b.nObs++
+	}
+	b.events = append(b.events, ev)
+	if len(b.events) > maxScanEvents {
+		return b.compact()
+	}
+	return nil
+}
+
+// exec performs an event's state transition (shared by the live path,
+// compaction, and restore replay).
+func (b *scanBackend) exec(ev scanEvent) {
+	if ev.Refresh {
+		if b.method == Sample {
+			b.smp.Resample()
+		} else {
+			b.hist.Rebuild()
+		}
+		return
+	}
+	b.synthesize(geom.Box{Lo: ev.Lo, Hi: ev.Hi}, ev.Sel)
+	// The wrapped baseline's own auto-update rule (AutoSample: >10% of rows
+	// changed; AutoHist: SQL Server's 20% rule).
+	if b.method == Sample {
+		b.smp.MaybeRefresh()
+	} else {
+		b.hist.MaybeRefresh()
+	}
+}
+
+// compact bumps the generation and rebuilds the derived state from the most
+// recent half of the event log, bounding table memory, snapshot size, and
+// replay cost. The post-compaction state is a pure function of (config,
+// generation, retained events), which is exactly what snapshots persist.
+func (b *scanBackend) compact() error {
+	tail := append([]scanEvent(nil), b.events[len(b.events)-maxScanEvents/2:]...)
+	b.generation++
+	if err := b.reset(); err != nil {
+		return err
+	}
+	return b.replay(tail)
+}
+
+// replay executes events and appends them to the log without triggering
+// further compaction (callers pass at most maxScanEvents events).
+func (b *scanBackend) replay(events []scanEvent) error {
+	for _, ev := range events {
+		b.exec(ev)
+	}
+	b.events = append(b.events, events...)
+	return nil
+}
+
+// synthesize inserts RowsPerObservation synthetic rows consistent with the
+// observation: round(sel·R) uniform inside the box, the rest uniform in the
+// complement (rejection-sampled; a draw that cannot escape a near-full-domain
+// box after 64 attempts is skipped, which only happens when sel should be
+// ≈1 anyway).
+func (b *scanBackend) synthesize(box geom.Box, sel float64) {
+	r := b.cfg.RowsPerObservation
+	inside := int(math.Round(sel * float64(r)))
+	rows := make([][]float64, 0, r)
+	for i := 0; i < inside; i++ {
+		p := make([]float64, b.cfg.Dim)
+		for d := range p {
+			p[d] = box.Lo[d] + b.rng.Float64()*(box.Hi[d]-box.Lo[d])
+		}
+		rows = append(rows, p)
+	}
+	for i := inside; i < r; i++ {
+		if p := b.drawOutside(box); p != nil {
+			rows = append(rows, p)
+		}
+	}
+	if err := b.tbl.Insert(rows...); err != nil {
+		// Rows are built with exactly Dim coordinates; Insert cannot fail.
+		panic(err)
+	}
+}
+
+func (b *scanBackend) drawOutside(box geom.Box) []float64 {
+	for attempt := 0; attempt < 64; attempt++ {
+		p := make([]float64, b.cfg.Dim)
+		for d := range p {
+			p[d] = b.rng.Float64()
+		}
+		if !box.Contains(p) {
+			return p
+		}
+	}
+	return nil
+}
+
+func (b *scanBackend) Estimate(boxes []geom.Box) (float64, error) {
+	if b.method == Sample {
+		return estimateDisjoint(boxes, b.smp.Estimate)
+	}
+	return estimateDisjoint(boxes, b.hist.Estimate)
+}
+
+func (b *scanBackend) Snapshot() (json.RawMessage, error) {
+	return json.Marshal(&scanSnapshot{
+		Config:     b.cfg,
+		Generation: b.generation,
+		Observed:   b.nObs,
+		Events:     b.events,
+	})
+}
+
+func restoreScan(method string, state json.RawMessage) (Backend, error) {
+	var s scanSnapshot
+	if err := json.Unmarshal(state, &s); err != nil {
+		return nil, fmt.Errorf("estimator: decode %s state: %w", method, err)
+	}
+	if s.Config.Dim < 1 {
+		return nil, fmt.Errorf("estimator: %s snapshot Dim must be >= 1, got %d", method, s.Config.Dim)
+	}
+	if s.Config.RowsPerObservation < 1 {
+		return nil, fmt.Errorf("estimator: %s snapshot RowsPerObservation must be >= 1, got %d", method, s.Config.RowsPerObservation)
+	}
+	if s.Generation < 0 || s.Observed < 0 || len(s.Events) > maxScanEvents {
+		return nil, fmt.Errorf("estimator: %s snapshot has invalid generation/observed/log (%d/%d/%d)",
+			method, s.Generation, s.Observed, len(s.Events))
+	}
+	for i, ev := range s.Events {
+		if ev.Refresh {
+			continue
+		}
+		box := geom.Box{Lo: ev.Lo, Hi: ev.Hi}
+		if box.Dim() != s.Config.Dim {
+			return nil, fmt.Errorf("estimator: %s snapshot event %d has dim %d, want %d", method, i, box.Dim(), s.Config.Dim)
+		}
+		if err := box.Validate(); err != nil {
+			return nil, fmt.Errorf("estimator: %s snapshot event %d: %w", method, i, err)
+		}
+		if math.IsNaN(ev.Sel) || ev.Sel < 0 || ev.Sel > 1 {
+			return nil, fmt.Errorf("estimator: %s snapshot event %d has selectivity %g", method, i, ev.Sel)
+		}
+	}
+	b, err := buildScan(method, s.Config, s.Generation)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.replay(s.Events); err != nil {
+		return nil, err
+	}
+	b.nObs = s.Observed
+	return b, nil
+}
+
+func (b *scanBackend) Stats() Stats {
+	var params int
+	if b.method == Sample {
+		params = b.smp.ParamCount()
+	} else {
+		params = b.hist.ParamCount()
+	}
+	return Stats{Method: b.method, Observed: b.nObs, Params: params}
+}

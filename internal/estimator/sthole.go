@@ -1,0 +1,59 @@
+package estimator
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"quicksel/internal/geom"
+	"quicksel/internal/sthole"
+)
+
+// stholeBackend adapts the STHoles error-feedback histogram. Observations
+// refine the bucket tree eagerly and there is no separate fitting step, so
+// Train is a no-op: the cheapest per-observation cost of the six methods,
+// paid for with the lowest accuracy in the paper's comparison.
+type stholeBackend struct {
+	h *sthole.Histogram
+}
+
+func newSTHoles(cfg Config) (*stholeBackend, error) {
+	h, err := sthole.New(sthole.Config{Dim: cfg.Dim, MaxBuckets: cfg.MaxBuckets})
+	if err != nil {
+		return nil, err
+	}
+	return &stholeBackend{h: h}, nil
+}
+
+func (b *stholeBackend) Method() string { return STHoles }
+func (b *stholeBackend) Dim() int       { return b.h.Dim() }
+
+func (b *stholeBackend) Observe(box geom.Box, sel float64) error {
+	return b.h.Observe(box, sel)
+}
+
+func (b *stholeBackend) Estimate(boxes []geom.Box) (float64, error) {
+	return estimateDisjoint(boxes, b.h.Estimate)
+}
+
+// Train is a no-op: STHoles drills and merges buckets at observation time.
+func (b *stholeBackend) Train() error { return nil }
+
+func (b *stholeBackend) Snapshot() (json.RawMessage, error) {
+	return json.Marshal(b.h.Snapshot())
+}
+
+func restoreSTHoles(state json.RawMessage) (Backend, error) {
+	var s sthole.Snapshot
+	if err := json.Unmarshal(state, &s); err != nil {
+		return nil, fmt.Errorf("estimator: decode sthole state: %w", err)
+	}
+	h, err := sthole.Restore(&s)
+	if err != nil {
+		return nil, err
+	}
+	return &stholeBackend{h: h}, nil
+}
+
+func (b *stholeBackend) Stats() Stats {
+	return Stats{Method: STHoles, Observed: b.h.NumObserved(), Params: b.h.ParamCount()}
+}

@@ -15,6 +15,14 @@
 // hybrid of §5.1). For the QP variant the disjointness of buckets makes Q
 // diagonal, so the solve uses the Woodbury identity and costs O(n²m + n³)
 // instead of O(m³).
+//
+// Trade-off: the strongest baseline accuracy in the paper's comparison —
+// the max-entropy distribution honors every observation exactly when
+// feasible — but the partition (and so memory and training time) grows
+// multiplicatively with observed queries, the limitation that motivates
+// QuickSel. quickseld serves it as methods "isomer" (published scaling
+// update) and "maxent" (optimized incremental update) behind a serving
+// bucket cap (internal/estimator).
 package isomer
 
 import (
@@ -116,6 +124,9 @@ func New(cfg Config) (*Histogram, error) {
 		buckets: []geom.Box{unit},
 	}, nil
 }
+
+// Dim returns the dimensionality of the histogram's domain.
+func (h *Histogram) Dim() int { return h.cfg.Dim }
 
 // NumBuckets returns the current partition size.
 func (h *Histogram) NumBuckets() int { return len(h.buckets) }

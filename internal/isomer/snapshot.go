@@ -1,0 +1,136 @@
+package isomer
+
+import (
+	"fmt"
+	"math"
+
+	"quicksel/internal/geom"
+)
+
+// SnapshotBox is the serialized form of one partition bucket.
+type SnapshotBox struct {
+	Lo []float64 `json:"lo"`
+	Hi []float64 `json:"hi"`
+}
+
+// SnapshotQuery is one serialized observed query.
+type SnapshotQuery struct {
+	Lo  []float64 `json:"lo"`
+	Hi  []float64 `json:"hi"`
+	Sel float64   `json:"sel"`
+}
+
+// Snapshot is the complete serializable state of a Histogram: configuration,
+// the disjoint bucket partition, the recorded queries, and (when trained)
+// the solved bucket frequencies. ISOMER uses no randomness, so a restored
+// histogram serves bit-identical estimates without re-running the solver.
+type Snapshot struct {
+	Dim                int             `json:"dim"`
+	Solver             int             `json:"solver"`
+	MaxBuckets         int             `json:"max_buckets"`
+	Lambda             float64         `json:"lambda,omitempty"`
+	ScalingIters       int             `json:"scaling_iters,omitempty"`
+	ScalingTol         float64         `json:"scaling_tol,omitempty"`
+	IncrementalScaling bool            `json:"incremental_scaling,omitempty"`
+	Buckets            []SnapshotBox   `json:"buckets"`
+	Queries            []SnapshotQuery `json:"queries,omitempty"`
+	Weights            []float64       `json:"weights,omitempty"`
+	Trained            bool            `json:"trained"`
+	Frozen             bool            `json:"frozen,omitempty"`
+}
+
+// Snapshot exports the histogram's full state. The returned value shares no
+// storage with the histogram and can be marshaled to JSON.
+func (h *Histogram) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Dim:                h.cfg.Dim,
+		Solver:             int(h.cfg.Solver),
+		MaxBuckets:         h.cfg.MaxBuckets,
+		Lambda:             h.cfg.Lambda,
+		ScalingIters:       h.cfg.ScalingIters,
+		ScalingTol:         h.cfg.ScalingTol,
+		IncrementalScaling: h.cfg.IncrementalScaling,
+		Trained:            h.trained,
+		Frozen:             h.frozen,
+	}
+	s.Buckets = make([]SnapshotBox, len(h.buckets))
+	for i, b := range h.buckets {
+		c := b.Clone()
+		s.Buckets[i] = SnapshotBox{Lo: c.Lo, Hi: c.Hi}
+	}
+	s.Queries = make([]SnapshotQuery, len(h.queries))
+	for i, q := range h.queries {
+		c := q.box.Clone()
+		s.Queries[i] = SnapshotQuery{Lo: c.Lo, Hi: c.Hi, Sel: q.sel}
+	}
+	if h.trained {
+		s.Weights = append([]float64(nil), h.weights...)
+	}
+	return s
+}
+
+// Restore rebuilds a Histogram from a snapshot, validating dimensions, the
+// solver, and the weights/buckets correspondence. The restored histogram
+// estimates identically and keeps refining on further observations.
+func Restore(s *Snapshot) (*Histogram, error) {
+	if s == nil {
+		return nil, fmt.Errorf("isomer: nil snapshot")
+	}
+	if s.Solver != int(IterativeScaling) && s.Solver != int(QuickSelQP) {
+		return nil, fmt.Errorf("isomer: snapshot has unknown solver %d", s.Solver)
+	}
+	h, err := New(Config{
+		Dim:                s.Dim,
+		Solver:             Solver(s.Solver),
+		MaxBuckets:         s.MaxBuckets,
+		Lambda:             s.Lambda,
+		ScalingIters:       s.ScalingIters,
+		ScalingTol:         s.ScalingTol,
+		IncrementalScaling: s.IncrementalScaling,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Buckets) == 0 {
+		return nil, fmt.Errorf("isomer: snapshot has no buckets")
+	}
+	h.buckets = make([]geom.Box, len(s.Buckets))
+	for i, sb := range s.Buckets {
+		box := geom.Box{Lo: sb.Lo, Hi: sb.Hi}.Clone()
+		if box.Dim() != s.Dim {
+			return nil, fmt.Errorf("isomer: snapshot bucket %d has dim %d, want %d", i, box.Dim(), s.Dim)
+		}
+		if err := box.Validate(); err != nil {
+			return nil, fmt.Errorf("isomer: snapshot bucket %d: %w", i, err)
+		}
+		h.buckets[i] = box
+	}
+	h.queries = make([]obsQuery, len(s.Queries))
+	for i, sq := range s.Queries {
+		box := geom.Box{Lo: sq.Lo, Hi: sq.Hi}.Clone()
+		if box.Dim() != s.Dim {
+			return nil, fmt.Errorf("isomer: snapshot query %d has dim %d, want %d", i, box.Dim(), s.Dim)
+		}
+		if err := box.Validate(); err != nil {
+			return nil, fmt.Errorf("isomer: snapshot query %d: %w", i, err)
+		}
+		if math.IsNaN(sq.Sel) || sq.Sel < 0 || sq.Sel > 1 {
+			return nil, fmt.Errorf("isomer: snapshot query %d has selectivity %g", i, sq.Sel)
+		}
+		h.queries[i] = obsQuery{box: box, sel: sq.Sel}
+	}
+	if s.Trained {
+		if len(s.Weights) != len(s.Buckets) {
+			return nil, fmt.Errorf("isomer: snapshot has %d weights for %d buckets", len(s.Weights), len(s.Buckets))
+		}
+		for i, w := range s.Weights {
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				return nil, fmt.Errorf("isomer: snapshot weight %d is not finite", i)
+			}
+		}
+		h.weights = append([]float64(nil), s.Weights...)
+	}
+	h.trained = s.Trained
+	h.frozen = s.Frozen
+	return h, nil
+}

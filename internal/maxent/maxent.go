@@ -13,6 +13,16 @@
 //
 // where v_j is bucket j's volume, C_i is the set of buckets inside query i,
 // and z_i = exp(λ_i) are the exponentiated Lagrange multipliers.
+//
+// Trade-off: maximum-entropy frequencies are the least-assuming model
+// consistent with the observations, but the solver is iterative — hundreds
+// of passes over every (query, bucket) incidence — so training cost scales
+// with both partition size and history length, unlike QuickSel's one-shot
+// closed-form solve. The faithful update (Options.Incremental=false)
+// re-evaluates the Appendix-B product per bucket and is kept for the
+// published-algorithm baseline; the incremental form is mathematically
+// identical and asymptotically much faster, and is what quickseld's
+// "maxent" method uses (internal/estimator).
 package maxent
 
 import (

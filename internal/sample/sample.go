@@ -2,6 +2,13 @@
 // uniform random sample of the table used for selectivity estimation,
 // refreshed when more than a configurable fraction of the data changes
 // (10% in the paper's setup).
+//
+// Trade-off: estimates are unbiased and estimation is a linear scan of the
+// sample, but accuracy is limited by sampling error (≈1/√size for a given
+// row budget) and every refresh rescans the base table — the scan cost
+// query-driven methods avoid entirely. quickseld serves it as method
+// "sample" over a synthetic table materialized from the feedback stream,
+// since a serving daemon has no base table to scan (internal/estimator).
 package sample
 
 import (

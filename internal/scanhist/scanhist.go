@@ -2,6 +2,15 @@
 // an equiwidth multidimensional histogram built by scanning the table,
 // automatically rebuilt when more than a configurable fraction of the data
 // changes (SQL Server's AUTO_UPDATE_STATISTICS rule, 20% by default).
+//
+// Trade-off: estimation is extremely fast (a product walk over the touched
+// grid cells) and the budget is fixed up front, but the equiwidth grid
+// assumes uniformity within each cell and its per-dimension resolution
+// collapses as dimensionality grows (floor(Buckets^(1/d)) bins per axis) —
+// the curse of dimensionality that query-driven methods sidestep by
+// spending parameters only where queries land. quickseld serves it as
+// method "scanhist" over a synthetic table materialized from the feedback
+// stream (internal/estimator).
 package scanhist
 
 import (

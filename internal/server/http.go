@@ -92,14 +92,22 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	s.writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
-// createRequest is the body of POST /v1/estimators.
+// createRequest is the body of POST /v1/estimators. Method selects the
+// estimation backend ("quicksel", "sthole", "isomer", "maxent", "sample",
+// "scanhist"); empty means quicksel. Unknown method names are rejected with
+// a 400 listing the valid ones, and — because the decoder is strict — so
+// are misspelled fields.
 type createRequest struct {
 	Name    string           `json:"name"`
+	Method  string           `json:"method,omitempty"`
 	Schema  *quicksel.Schema `json:"schema"`
 	Options *createOptions   `json:"options,omitempty"`
 }
 
 // createOptions tunes the model; zero fields keep the paper defaults.
+// The first block applies to the quicksel method, max_buckets to the
+// histogram methods (sthole/isomer/maxent), and the last block to the
+// scan-backed methods (sample/scanhist).
 type createOptions struct {
 	Seed               *int64  `json:"seed,omitempty"`
 	MaxSubpops         int     `json:"max_subpops,omitempty"`
@@ -109,6 +117,10 @@ type createOptions struct {
 	Lambda             float64 `json:"lambda,omitempty"`
 	IterativeSolver    bool    `json:"iterative_solver,omitempty"`
 	Workers            int     `json:"workers,omitempty"`
+	MaxBuckets         int     `json:"max_buckets,omitempty"`
+	SampleSize         int     `json:"sample_size,omitempty"`
+	GridBuckets        int     `json:"grid_buckets,omitempty"`
+	RowsPerObservation int     `json:"rows_per_observation,omitempty"`
 }
 
 func (o *createOptions) toOptions() []quicksel.Option {
@@ -140,13 +152,30 @@ func (o *createOptions) toOptions() []quicksel.Option {
 	if o.Workers > 0 {
 		opts = append(opts, quicksel.WithWorkers(o.Workers))
 	}
+	if o.MaxBuckets > 0 {
+		opts = append(opts, quicksel.WithMaxBuckets(o.MaxBuckets))
+	}
+	if o.SampleSize > 0 {
+		opts = append(opts, quicksel.WithSampleSize(o.SampleSize))
+	}
+	if o.GridBuckets > 0 {
+		opts = append(opts, quicksel.WithGridBuckets(o.GridBuckets))
+	}
+	if o.RowsPerObservation > 0 {
+		opts = append(opts, quicksel.WithRowsPerObservation(o.RowsPerObservation))
+	}
 	return opts
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	s.reqCreate.Add(1)
 	var req createRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	// Strict decoding: a typo like "metod" or "schmea" used to be silently
+	// ignored, leaving the client with a default estimator it did not ask
+	// for. Creates are rare and deliberate, so reject unknown fields.
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
 		s.writeError(w, fmt.Errorf("decode request: %w", err))
 		return
 	}
@@ -154,7 +183,13 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, fmt.Errorf("request needs a schema"))
 		return
 	}
-	if err := s.reg.Create(req.Name, req.Schema, req.Options.toOptions()...); err != nil {
+	opts := req.Options.toOptions()
+	if req.Method != "" {
+		// quicksel.New validates the name; an unknown one fails the create
+		// with a 400 whose message lists the valid methods.
+		opts = append(opts, quicksel.WithMethod(req.Method))
+	}
+	if err := s.reg.Create(req.Name, req.Schema, opts...); err != nil {
 		s.writeError(w, err)
 		return
 	}

@@ -1,0 +1,233 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"quicksel"
+)
+
+// createMethod creates a named estimator with an explicit estimation method
+// through the HTTP API.
+func createMethod(t *testing.T, base, name, method string) {
+	t.Helper()
+	status, body := doJSON(t, "POST", base+"/v1/estimators",
+		fmt.Sprintf(`{"name": %q, "method": %q, "schema": %s, "options": {"seed": 42}}`,
+			name, method, peopleSchema))
+	mustStatus(t, http.StatusCreated, status, body)
+}
+
+// TestCreateRejectsUnknownMethod is the create-validation fix: an unknown
+// method name must 400 with a body listing the valid methods (it used to be
+// possible for a malformed request to silently fall back to the default).
+func TestCreateRejectsUnknownMethod(t *testing.T) {
+	srv, ts := newTestServer(t, Config{TrainInterval: time.Hour})
+	defer srv.Close()
+
+	status, body := doJSON(t, "POST", ts.URL+"/v1/estimators",
+		fmt.Sprintf(`{"name": "people", "method": "histogrm", "schema": %s}`, peopleSchema))
+	mustStatus(t, http.StatusBadRequest, status, body)
+	for _, m := range quicksel.Methods() {
+		if !strings.Contains(string(body), m) {
+			t.Errorf("400 body %s does not list valid method %q", body, m)
+		}
+	}
+
+	// The estimator must not have been half-created.
+	status, body = doJSON(t, "GET", ts.URL+"/v1/estimators", "")
+	mustStatus(t, http.StatusOK, status, body)
+	if strings.Contains(string(body), `"people"`) {
+		t.Errorf("failed create left an estimator behind: %s", body)
+	}
+}
+
+// TestCreateRejectsUnknownField: the strict create decoder turns a typo
+// (which used to be silently ignored) into a 400.
+func TestCreateRejectsUnknownField(t *testing.T) {
+	srv, ts := newTestServer(t, Config{TrainInterval: time.Hour})
+	defer srv.Close()
+
+	status, body := doJSON(t, "POST", ts.URL+"/v1/estimators",
+		fmt.Sprintf(`{"name": "people", "metod": "sthole", "schema": %s}`, peopleSchema))
+	mustStatus(t, http.StatusBadRequest, status, body)
+	if !strings.Contains(string(body), "metod") {
+		t.Errorf("400 body %s does not name the unknown field", body)
+	}
+}
+
+// TestMethodsEndToEndRestart is the multi-backend acceptance test: create
+// one estimator per estimation method, observe and train them all, snapshot
+// the daemon, restart from the file, and require bit-identical estimates
+// and preserved method labels for every backend.
+func TestMethodsEndToEndRestart(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "state.json")
+	probes := []string{
+		"age BETWEEN 25 AND 44 AND salary >= 80000",
+		"age >= 50",
+		"salary < 40000 OR salary >= 150000",
+	}
+
+	srv1, ts1 := newTestServer(t, Config{SnapshotPath: snap})
+	for _, method := range quicksel.Methods() {
+		createMethod(t, ts1.URL, "people-"+method, method)
+		status, body := doJSON(t, "POST", ts1.URL+"/v1/people-"+method+"/observe", `{"observations": [
+			{"where": "age BETWEEN 18 AND 29", "selectivity": 0.22},
+			{"where": "age BETWEEN 30 AND 49", "selectivity": 0.41},
+			{"where": "salary >= 100000", "selectivity": 0.18},
+			{"where": "age BETWEEN 30 AND 49 AND salary >= 100000", "selectivity": 0.12},
+			{"where": "salary < 40000", "selectivity": 0.35}
+		]}`)
+		mustStatus(t, http.StatusAccepted, status, body)
+		status, body = doJSON(t, "POST", ts1.URL+"/v1/people-"+method+"/train", "{}")
+		mustStatus(t, http.StatusOK, status, body)
+	}
+
+	want := map[string][]float64{}
+	for _, method := range quicksel.Methods() {
+		for _, probe := range probes {
+			want[method] = append(want[method], estimate(t, ts1.URL, "people-"+method, probe))
+		}
+	}
+
+	// The method label must flow through the list and metrics endpoints.
+	status, body := doJSON(t, "GET", ts1.URL+"/v1/estimators", "")
+	mustStatus(t, http.StatusOK, status, body)
+	var list struct {
+		Estimators []EstimatorInfo `json:"estimators"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]string{}
+	for _, in := range list.Estimators {
+		byName[in.Name] = in.Method
+	}
+	for _, method := range quicksel.Methods() {
+		if got := byName["people-"+method]; got != method {
+			t.Errorf("list method for people-%s = %q, want %q", method, got, method)
+		}
+	}
+	metrics := metricsBody(t, ts1.URL)
+	for _, method := range quicksel.Methods() {
+		if want := fmt.Sprintf(`quickseld_estimators_by_method{method=%q} 1`, method); !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+
+	if err := srv1.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Restart from the snapshot: same estimates, same methods.
+	srv2, ts2 := newTestServer(t, Config{SnapshotPath: snap})
+	defer srv2.Close()
+	for _, method := range quicksel.Methods() {
+		for i, probe := range probes {
+			got := estimate(t, ts2.URL, "people-"+method, probe)
+			if got != want[method][i] {
+				t.Errorf("%s: estimate(%q) = %v after restart, want %v", method, probe, got, want[method][i])
+			}
+		}
+	}
+	status, body = doJSON(t, "GET", ts2.URL+"/v1/estimators", "")
+	mustStatus(t, http.StatusOK, status, body)
+	for _, method := range quicksel.Methods() {
+		if !strings.Contains(string(body), fmt.Sprintf(`"method": %q`, method)) {
+			t.Errorf("restarted list is missing method %q: %s", method, body)
+		}
+	}
+}
+
+// TestEstimateBatchDuringRetrainSwapNonQuickSel is the batch-vs-swap race
+// test on a non-quicksel backend: STHoles mutates its bucket tree on every
+// absorbed observation, so this proves the clone-and-swap discipline (not
+// quicksel's immutable compiled model) is what makes batch reads safe.
+// Run with -race (CI does).
+func TestEstimateBatchDuringRetrainSwapNonQuickSel(t *testing.T) {
+	srv, ts := newTestServer(t, Config{
+		TrainInterval: time.Millisecond,
+		BufferSize:    256,
+	})
+	defer srv.Close()
+	createMethod(t, ts.URL, "people", "sthole")
+	reg := srv.Registry()
+
+	wheres := []string{
+		"age BETWEEN 20 AND 39",
+		"salary >= 100000",
+		"age >= 30 AND salary BETWEEN 40000 AND 120000",
+		"age < 25 OR age >= 65",
+	}
+
+	stop := make(chan struct{})
+	var writerWG, readerWG sync.WaitGroup
+	errs := make(chan error, 9)
+
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			lo := 18 + i%50
+			obs := []Observation{{Where: fmt.Sprintf("age >= %d", lo), Sel: float64(1+i%9) / 10}}
+			if _, _, err := reg.ObserveBatch("people", obs); err != nil {
+				errs <- fmt.Errorf("observe: %w", err)
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	for g := 0; g < 4; g++ {
+		readerWG.Add(1)
+		go func(g int) {
+			defer readerWG.Done()
+			for i := 0; i < 50; i++ {
+				var sels []float64
+				if g%2 == 0 {
+					var err error
+					sels, err = reg.EstimateBatch("people", wheres)
+					if err != nil {
+						errs <- fmt.Errorf("reader %d: %w", g, err)
+						return
+					}
+				} else {
+					sels = estimateBatch(t, ts.URL, "people", wheres)
+				}
+				for j, sel := range sels {
+					if sel < 0 || sel > 1 {
+						errs <- fmt.Errorf("reader %d: batch[%d] = %v out of [0,1]", g, j, sel)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	done := make(chan struct{})
+	go func() { readerWG.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("timeout waiting for reader goroutines")
+	}
+	close(stop)
+	writerWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metricsBody(t, ts.URL), `quickseld_train_runs_total{estimator="people",method="sthole"}`) {
+		t.Error("sthole train-runs series missing from /metrics")
+	}
+}

@@ -33,10 +33,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	infos := s.reg.List()
 	fmt.Fprintf(&b, "# HELP quickseld_estimators Registered estimators.\n# TYPE quickseld_estimators gauge\nquickseld_estimators %d\n", len(infos))
 
+	// Per-method registry population: how many estimators each estimation
+	// backend (quicksel, sthole, ...) is serving. Methods are emitted in
+	// first-seen order of the name-sorted infos, which is deterministic.
+	fmt.Fprintf(&b, "# HELP quickseld_estimators_by_method Registered estimators per estimation method.\n# TYPE quickseld_estimators_by_method gauge\n")
+	byMethod := map[string]int{}
+	var methodOrder []string
+	for _, in := range infos {
+		if byMethod[in.Method] == 0 {
+			methodOrder = append(methodOrder, in.Method)
+		}
+		byMethod[in.Method]++
+	}
+	for _, m := range methodOrder {
+		fmt.Fprintf(&b, "quickseld_estimators_by_method{method=%q} %d\n", m, byMethod[m])
+	}
+
+	// Every per-estimator series carries the estimator's method as a label,
+	// so dashboards can aggregate and compare backends directly.
 	perEst := func(name, help, typ string, value func(EstimatorInfo) string) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
 		for _, in := range infos {
-			fmt.Fprintf(&b, "%s{estimator=%q} %s\n", name, in.Name, value(in))
+			fmt.Fprintf(&b, "%s{estimator=%q,method=%q} %s\n", name, in.Name, in.Method, value(in))
 		}
 	}
 	perEst("quickseld_observations_total", "Observations accepted into the pending buffer.", "counter",
@@ -53,7 +71,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		func(in EstimatorInfo) string { return fmt.Sprintf("%d", in.Backlog) })
 	perEst("quickseld_last_train_seconds", "Duration of the last training run.", "gauge",
 		func(in EstimatorInfo) string { return fmt.Sprintf("%g", in.LastTrainSecs) })
-	perEst("quickseld_model_params", "Subpopulation weights in the serving model.", "gauge",
+	perEst("quickseld_model_params", "Model parameters in the serving model (subpopulation weights, bucket frequencies, sampled coordinates, or grid cells, depending on the method).", "gauge",
 		func(in EstimatorInfo) string { return fmt.Sprintf("%d", in.Params) })
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

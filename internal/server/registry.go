@@ -2,14 +2,23 @@
 // daemon over the public quicksel API. It hosts a registry of named
 // estimators (one per table or schema), ingests observed selectivities into
 // bounded per-estimator buffers, and retrains dirty estimators in a
-// background worker so the estimate path never pays the quadratic-program
-// training cost: training happens on a clone built from a model snapshot,
-// and the freshly trained clone is swapped in atomically.
+// background worker so the estimate path never pays the training cost:
+// training happens on a clone built from a model snapshot, and the freshly
+// trained clone is swapped in atomically.
+//
+// Every estimator is backed by one of the pluggable estimation methods
+// (internal/estimator): QuickSel's mixture model by default, or one of the
+// paper's baselines — sthole, isomer, maxent, sample, scanhist — selected
+// by the create request's "method" field. The registry is method-agnostic:
+// buffering, background training, snapshots, and metrics work identically,
+// with the method surfaced as a label.
 //
 // The registry persists full model state (not just the feedback log) as a
 // JSON snapshot file, so a restarted daemon serves identical estimates —
 // the §6 system-catalog idiom of the paper, extended from observed-query
-// metadata to the whole trained model.
+// metadata to the whole trained model. Each persisted estimator is a
+// versioned envelope that records its method, so a restart restores the
+// right backend bit-identically.
 package server
 
 import (
@@ -150,6 +159,8 @@ var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_.-]{0,127}$`)
 
 // Create registers a new named estimator over the schema. The name must be
 // URL-safe ([A-Za-z0-9_.-], starting alphanumeric); duplicates are errors.
+// Options select the estimation method (quicksel.WithMethod) and tune it;
+// an unknown method name fails with an error listing the valid ones.
 func (r *Registry) Create(name string, schema *quicksel.Schema, opts ...quicksel.Option) error {
 	if !nameRE.MatchString(name) {
 		return fmt.Errorf("server: invalid estimator name %q", name)
@@ -398,8 +409,9 @@ func (r *Registry) anyPending() bool {
 
 // flushAndTrain drains the estimator's pending buffer into a clone of the
 // serving model, trains the clone, and swaps it in. The estimator's lock is
-// held only to take the buffer and to swap — never across the
-// quadratic-program solve — so Estimate latency is unaffected by training.
+// held only to take the buffer and to swap — never across the method's
+// training step (QP solve, iterative scaling, rescan) — so Estimate latency
+// is unaffected by training.
 // trainMu serializes trainers (the explicit Train endpoint can race the
 // background worker) so two runs cannot interleave swaps and lose
 // observations.
@@ -466,6 +478,7 @@ func (r *Registry) requeue(st *estimatorState, batch []pendingObs) {
 // EstimatorInfo is the public status of one registered estimator.
 type EstimatorInfo struct {
 	Name          string  `json:"name"`
+	Method        string  `json:"method"`
 	Columns       int     `json:"columns"`
 	Observed      uint64  `json:"observed_total"`
 	Dropped       uint64  `json:"dropped_total"`
@@ -483,6 +496,7 @@ func (r *Registry) info(st *estimatorState) EstimatorInfo {
 	defer st.mu.Unlock()
 	return EstimatorInfo{
 		Name:          st.name,
+		Method:        st.serving.Method(),
 		Columns:       st.serving.Schema().Dim(),
 		Observed:      st.observedTotal,
 		Dropped:       st.droppedTotal,
@@ -506,11 +520,18 @@ func (r *Registry) List() []EstimatorInfo {
 	return out
 }
 
-// snapshotFile is the JSON shape of the persisted registry.
+// snapshotFile is the JSON shape of the persisted registry. Each estimator
+// entry is a self-describing quicksel.Snapshot envelope carrying its method,
+// so restoring never needs out-of-band backend knowledge. File version 2
+// corresponds to the method-aware envelopes; version-1 files (which could
+// only hold quicksel-method estimators) still load.
 type snapshotFile struct {
 	Version    int                           `json:"version"`
 	Estimators map[string]*quicksel.Snapshot `json:"estimators"`
 }
+
+// snapshotFileVersion is the registry snapshot format this build writes.
+const snapshotFileVersion = 2
 
 // SaveSnapshot flushes every estimator's pending observations, trains, and
 // atomically writes the full registry state to the configured snapshot
@@ -527,13 +548,23 @@ func (r *Registry) SaveSnapshot() error {
 			return err
 		}
 	}
-	out := snapshotFile{Version: 1, Estimators: map[string]*quicksel.Snapshot{}}
+	out := snapshotFile{Version: snapshotFileVersion, Estimators: map[string]*quicksel.Snapshot{}}
 	r.mu.RLock()
 	for name, st := range r.estimators {
 		st.mu.Lock()
 		est := st.serving
 		st.mu.Unlock()
-		out.Estimators[name] = est.Snapshot()
+		snap := est.Snapshot()
+		if snap.Model == nil && len(snap.State) == 0 {
+			// Estimator.Snapshot has no error return, so a backend whose
+			// state failed to serialize yields an empty envelope. Refuse to
+			// persist it: overwriting the previous good snapshot with one
+			// that cannot restore would only be discovered at the next boot,
+			// after the learned state is already gone.
+			r.mu.RUnlock()
+			return fmt.Errorf("server: estimator %q (%s) produced an empty snapshot; keeping the previous snapshot file", name, est.Method())
+		}
+		out.Estimators[name] = snap
 	}
 	r.mu.RUnlock()
 	data, err := json.MarshalIndent(&out, "", "  ")
@@ -577,7 +608,7 @@ func (r *Registry) loadSnapshotFile(path string) error {
 	if err := json.Unmarshal(data, &in); err != nil {
 		return fmt.Errorf("server: decode snapshot %s: %w", path, err)
 	}
-	if in.Version != 1 {
+	if in.Version != 1 && in.Version != snapshotFileVersion {
 		return fmt.Errorf("server: unsupported snapshot version %d", in.Version)
 	}
 	for name, snap := range in.Estimators {

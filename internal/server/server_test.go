@@ -312,10 +312,11 @@ func TestMetrics(t *testing.T) {
 		"quickseld_requests_observe_total 1",
 		"quickseld_requests_estimate_total 1",
 		"quickseld_estimators 1",
-		`quickseld_observations_total{estimator="people"} 1`,
-		`quickseld_observation_backlog{estimator="people"} 0`,
-		`quickseld_last_train_seconds{estimator="people"}`,
-		`quickseld_model_params{estimator="people"}`,
+		`quickseld_estimators_by_method{method="quicksel"} 1`,
+		`quickseld_observations_total{estimator="people",method="quicksel"} 1`,
+		`quickseld_observation_backlog{estimator="people",method="quicksel"} 0`,
+		`quickseld_last_train_seconds{estimator="people",method="quicksel"}`,
+		`quickseld_model_params{estimator="people",method="quicksel"}`,
 	} {
 		if !bytes.Contains(body, []byte(want)) {
 			t.Errorf("metrics missing %q", want)

@@ -12,6 +12,13 @@
 // box), and adjusts the parent by error feedback. A parent-child merge step
 // bounds the bucket count, which is why STHoles keeps a small parameter
 // count in Figure 4 — at the cost of the accuracy loss the paper reports.
+//
+// Trade-off: the cheapest per-observation update of the repository's
+// methods (tree surgery, no fitting step — Train is a no-op) and bounded
+// memory, but the lowest accuracy of the query-driven methods, because the
+// uniform redistribution of mass into drilled holes discards information
+// that QuickSel's mixture fit and ISOMER's max-entropy solve retain.
+// quickseld serves it as method "sthole" (internal/estimator).
 package sthole
 
 import (
@@ -80,6 +87,9 @@ func New(cfg Config) (*Histogram, error) {
 		count: 1,
 	}, nil
 }
+
+// Dim returns the dimensionality of the histogram's domain.
+func (h *Histogram) Dim() int { return h.cfg.Dim }
 
 // NumBuckets returns the current number of buckets in the tree.
 func (h *Histogram) NumBuckets() int { return h.count }

@@ -1,52 +1,94 @@
 package quicksel
 
-import "quicksel/internal/core"
+import "quicksel/internal/estimator"
 
 // Option configures an Estimator at construction time.
-type Option func(*core.Config)
+type Option func(*estimator.Config)
 
-// WithSeed fixes the pseudo-random seed used for subpopulation generation,
-// making the model fully deterministic.
+// Estimation methods accepted by WithMethod. MethodQuickSel is the paper's
+// method and the default; the others are the baselines of the paper's
+// evaluation (§5.1), served behind the same Estimator API so callers — and
+// the quickseld daemon — can compare or mix methods per workload.
+const (
+	// MethodQuickSel is the uniform mixture model fitted by a penalized
+	// quadratic program — the best accuracy per model parameter in the
+	// paper's comparison.
+	MethodQuickSel = estimator.QuickSel
+	// MethodSTHoles is the STHoles error-feedback histogram: the cheapest
+	// per-observation updates, at a significant accuracy cost.
+	MethodSTHoles = estimator.STHoles
+	// MethodIsomer is the ISOMER max-entropy histogram with the published
+	// iterative-scaling update: strong accuracy, but its bucket partition
+	// grows multiplicatively with observed queries.
+	MethodIsomer = estimator.Isomer
+	// MethodMaxEnt is the same max-entropy histogram solved with the
+	// optimized incremental scaling update: identical fixed point to
+	// MethodIsomer at a much lower training cost.
+	MethodMaxEnt = estimator.MaxEnt
+	// MethodSample is the AutoSample baseline over a synthetic table
+	// materialized from the feedback stream.
+	MethodSample = estimator.Sample
+	// MethodScanHist is the AutoHist equiwidth-grid baseline over the same
+	// synthetic table.
+	MethodScanHist = estimator.ScanHist
+)
+
+// Methods returns the valid estimation method names, sorted.
+func Methods() []string { return estimator.Methods() }
+
+// WithMethod selects the estimation method backing the Estimator. The
+// default is MethodQuickSel; an unknown name fails New with an error that
+// lists the valid methods.
+func WithMethod(method string) Option {
+	return func(c *estimator.Config) { c.Method = method }
+}
+
+// WithSeed fixes the pseudo-random seed used for subpopulation generation
+// (and the scan-backed methods' synthetic rows), making the model fully
+// deterministic.
 func WithSeed(seed int64) Option {
-	return func(c *core.Config) { c.Seed = seed }
+	return func(c *estimator.Config) { c.Seed = seed }
 }
 
 // WithMaxSubpopulations caps the number of mixture components. The paper's
-// default is 4,000 (§3.3, footnote 9).
+// default is 4,000 (§3.3, footnote 9). QuickSel method only.
 func WithMaxSubpopulations(m int) Option {
-	return func(c *core.Config) { c.MaxSubpops = m }
+	return func(c *estimator.Config) { c.MaxSubpops = m }
 }
 
 // WithSubpopsPerQuery sets how many mixture components are budgeted per
 // observed query before the cap applies. The paper's default is 4.
+// QuickSel method only.
 func WithSubpopsPerQuery(k int) Option {
-	return func(c *core.Config) { c.SubpopsPerQuery = k }
+	return func(c *estimator.Config) { c.SubpopsPerQuery = k }
 }
 
 // WithFixedSubpopulations pins the number of mixture components regardless
 // of how many queries have been observed (the mode of Figure 7c).
+// QuickSel method only.
 func WithFixedSubpopulations(m int) Option {
-	return func(c *core.Config) { c.FixedSubpops = m }
+	return func(c *estimator.Config) { c.FixedSubpops = m }
 }
 
 // WithPointsPerPredicate sets the number of workload-aware points sampled
-// inside each observed predicate (paper default: 10).
+// inside each observed predicate (paper default: 10). QuickSel method only.
 func WithPointsPerPredicate(k int) Option {
-	return func(c *core.Config) { c.PointsPerPredicate = k }
+	return func(c *estimator.Config) { c.PointsPerPredicate = k }
 }
 
 // WithLambda sets the consistency-penalty weight of Problem 3 (paper
-// default: 1e6).
+// default: 1e6). QuickSel method only.
 func WithLambda(lambda float64) Option {
-	return func(c *core.Config) { c.Lambda = lambda }
+	return func(c *estimator.Config) { c.Lambda = lambda }
 }
 
 // WithIterativeSolver switches training from the analytic closed form to a
 // projected-gradient quadratic-program solver that enforces non-negative
 // weights. This is the "Standard QP" baseline of Figure 6; it is slower and
 // exists for comparison and for callers that need w >= 0 exactly.
+// QuickSel method only.
 func WithIterativeSolver() Option {
-	return func(c *core.Config) { c.UseIterativeSolver = true }
+	return func(c *estimator.Config) { c.UseIterativeSolver = true }
 }
 
 // WithWorkers bounds the goroutines used by the parallel training kernels
@@ -54,6 +96,32 @@ func WithIterativeSolver() Option {
 // default — uses GOMAXPROCS; 1 forces the sequential path. Every worker
 // count produces bit-identical weights, so the knob trades cores for
 // training wall clock without affecting estimates or snapshots.
+// QuickSel method only.
 func WithWorkers(n int) Option {
-	return func(c *core.Config) { c.Workers = n }
+	return func(c *estimator.Config) { c.Workers = n }
+}
+
+// WithMaxBuckets bounds the bucket tree (MethodSTHoles) or the disjoint
+// bucket partition (MethodIsomer, MethodMaxEnt). Fewer buckets mean less
+// memory and faster training at lower accuracy.
+func WithMaxBuckets(m int) Option {
+	return func(c *estimator.Config) { c.MaxBuckets = m }
+}
+
+// WithSampleSize sets the row budget of MethodSample (default 1000).
+func WithSampleSize(n int) Option {
+	return func(c *estimator.Config) { c.SampleSize = n }
+}
+
+// WithGridBuckets sets the cell budget of MethodScanHist (default 1000).
+func WithGridBuckets(n int) Option {
+	return func(c *estimator.Config) { c.GridBuckets = n }
+}
+
+// WithRowsPerObservation sets how many synthetic rows the scan-backed
+// methods (MethodSample, MethodScanHist) materialize per feedback record
+// (default 128). More rows track feedback more faithfully at higher
+// memory and refresh cost.
+func WithRowsPerObservation(n int) Option {
+	return func(c *estimator.Config) { c.RowsPerObservation = n }
 }

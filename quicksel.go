@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"sync"
 
-	"quicksel/internal/core"
+	"quicksel/internal/estimator"
 	"quicksel/internal/geom"
 	"quicksel/internal/predicate"
 )
@@ -60,38 +60,48 @@ var (
 	Not = predicate.Not
 )
 
-// Estimator is the public face of QuickSel: a selectivity-learning model
+// Estimator is the public face of the library: a selectivity-learning model
 // bound to a schema. It is safe for concurrent use; Observe and Estimate
 // may be called from multiple goroutines.
 //
-// Estimates are produced lazily: the first Estimate after one or more
-// Observe calls (re)trains the model. Call Train explicitly to control when
-// the (quadratic-program) fitting cost is paid.
+// An Estimator is backed by one of six interchangeable estimation methods
+// (see WithMethod): QuickSel's mixture model by default, or one of the
+// paper's baselines. All methods share the same feedback/estimate/snapshot
+// contract; only accuracy, training cost, and memory differ.
+//
+// Estimates are produced lazily for methods with a fitting step: the first
+// Estimate after one or more Observe calls (re)trains the model. Call Train
+// explicitly to control when the fitting cost is paid.
 type Estimator struct {
-	mu     sync.Mutex
-	schema *Schema
-	model  *core.Model
+	mu      sync.Mutex
+	schema  *Schema
+	backend estimator.Backend
 }
 
-// New returns an estimator for the given schema. Options tune the paper's
-// defaults (subpopulation budget, penalty weight, seed, solver).
+// New returns an estimator for the given schema. Options select the
+// estimation method (default: MethodQuickSel) and tune the paper's defaults
+// (subpopulation budget, penalty weight, seed, solver, bucket caps).
 func New(schema *Schema, opts ...Option) (*Estimator, error) {
 	if schema == nil {
 		return nil, fmt.Errorf("quicksel: nil schema")
 	}
-	cfg := core.Config{Dim: schema.Dim()}
+	cfg := estimator.Config{Dim: schema.Dim()}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	m, err := core.New(cfg)
+	b, err := estimator.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Estimator{schema: schema, model: m}, nil
+	return &Estimator{schema: schema, backend: b}, nil
 }
 
 // Schema returns the estimator's schema.
 func (e *Estimator) Schema() *Schema { return e.schema }
+
+// Method returns the name of the estimation method backing the estimator
+// (e.g. "quicksel", "sthole"; see WithMethod).
+func (e *Estimator) Method() string { return e.backend.Method() }
 
 // Observe feeds back the actual selectivity of an executed predicate. The
 // predicate may contain conjunctions, disjunctions, and negations; it is
@@ -109,7 +119,7 @@ func (e *Estimator) Observe(p *Predicate, trueSelectivity float64) error {
 	case 0:
 		return nil // predicate selects nothing; nothing to learn
 	case 1:
-		return e.model.Observe(boxes[0], trueSelectivity)
+		return e.backend.Observe(boxes[0], trueSelectivity)
 	default:
 		// Split the observed mass across the disjoint pieces by volume.
 		var total float64
@@ -120,7 +130,7 @@ func (e *Estimator) Observe(p *Predicate, trueSelectivity float64) error {
 			return nil
 		}
 		for _, b := range boxes {
-			if err := e.model.Observe(b, trueSelectivity*b.Volume()/total); err != nil {
+			if err := e.backend.Observe(b, trueSelectivity*b.Volume()/total); err != nil {
 				return err
 			}
 		}
@@ -128,13 +138,14 @@ func (e *Estimator) Observe(p *Predicate, trueSelectivity float64) error {
 	}
 }
 
-// Train fits the model to all observations so far. Estimate trains lazily,
-// so calling Train is optional; it exists to let callers schedule the
-// fitting cost (e.g. off the query path).
+// Train fits the model to all observations so far (for methods with a
+// fitting step; for others it forces a statistics refresh). Estimate trains
+// lazily, so calling Train is optional; it exists to let callers schedule
+// the fitting cost (e.g. off the query path).
 func (e *Estimator) Train() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.model.Train()
+	return e.backend.Train()
 }
 
 // Estimate returns the estimated selectivity of the predicate, in [0, 1].
@@ -145,7 +156,7 @@ func (e *Estimator) Estimate(p *Predicate) (float64, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.model.EstimateUnion(boxes)
+	return e.backend.Estimate(boxes)
 }
 
 // EstimateBatch returns the estimated selectivity of each predicate, in
@@ -166,7 +177,7 @@ func (e *Estimator) EstimateBatch(preds []*Predicate) ([]float64, error) {
 	defer e.mu.Unlock()
 	out := make([]float64, len(preds))
 	for i, boxes := range lowered {
-		sel, err := e.model.EstimateUnion(boxes)
+		sel, err := e.backend.Estimate(boxes)
 		if err != nil {
 			return nil, fmt.Errorf("quicksel: estimate %d: %w", i, err)
 		}
@@ -193,15 +204,17 @@ func (e *Estimator) EstimateBatchWhere(wheres []string) ([]float64, error) {
 func (e *Estimator) NumObserved() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.model.NumObserved()
+	return e.backend.Stats().Observed
 }
 
-// ParamCount returns the number of model parameters (subpopulation weights)
-// of the last trained model; 0 before the first training.
+// ParamCount returns the number of model parameters — subpopulation weights
+// (QuickSel), bucket frequencies (histogram methods), sampled coordinates,
+// or grid cells — of the current model; 0 before the first training for
+// methods that fit lazily.
 func (e *Estimator) ParamCount() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.model.ParamCount()
+	return e.backend.Stats().Params
 }
 
 // ParseError is the error type returned by Parse for malformed predicate

@@ -6,22 +6,34 @@ import (
 	"io"
 
 	"quicksel/internal/core"
+	"quicksel/internal/estimator"
 )
 
 // SnapshotVersion is the format version of estimator snapshots produced by
-// this package. DecodeSnapshot and Restore reject other versions.
-const SnapshotVersion = 1
+// this package. Version 2 adds the Method field and the method-specific
+// State payload; DecodeSnapshot and Restore also accept version 1 (which
+// could only hold the QuickSel method).
+const SnapshotVersion = 2
 
-// Snapshot is the full serializable state of an Estimator: its schema plus
-// the model's observations, subpopulations, and trained weights. A restored
+// Snapshot is the full serializable state of an Estimator: its schema, the
+// estimation method backing it, and the method's model state. A restored
 // estimator produces identical estimates without retraining, so snapshots
 // are suitable for persisting learned state across process restarts (the
 // §6 "store metadata in the system catalog" idiom, extended to the whole
 // model rather than just the feedback log).
+//
+// The envelope records the method so a consumer — the quickseld daemon in
+// particular — restores the right backend without out-of-band knowledge.
+// QuickSel model state stays in the typed Model field (as in version 1);
+// every other method serializes into State.
 type Snapshot struct {
-	Version int            `json:"version"`
-	Schema  *Schema        `json:"schema"`
-	Model   *core.Snapshot `json:"model"`
+	Version int     `json:"version"`
+	Method  string  `json:"method,omitempty"`
+	Schema  *Schema `json:"schema"`
+	// Model is the QuickSel mixture-model state; nil for other methods.
+	Model *core.Snapshot `json:"model,omitempty"`
+	// State is the backend state of non-QuickSel methods; nil for QuickSel.
+	State json.RawMessage `json:"state,omitempty"`
 }
 
 // Snapshot exports the estimator's state. The snapshot shares no storage
@@ -29,21 +41,35 @@ type Snapshot struct {
 func (e *Estimator) Snapshot() *Snapshot {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return &Snapshot{
+	s := &Snapshot{
 		Version: SnapshotVersion,
+		Method:  e.backend.Method(),
 		Schema:  &Schema{Cols: append([]Column(nil), e.schema.Cols...)},
-		Model:   e.model.Snapshot(),
 	}
+	if m := estimator.ModelSnapshot(e.backend); m != nil {
+		s.Model = m
+		return s
+	}
+	state, err := e.backend.Snapshot()
+	if err != nil {
+		// The backend states are plain JSON-marshalable structs; this is
+		// unreachable in practice. Leave State nil: Restore rejects the
+		// incomplete envelope, and the serving registry refuses to persist
+		// one over a good snapshot file.
+		return s
+	}
+	s.State = state
+	return s
 }
 
 // Restore rebuilds an estimator from a snapshot, validating the version,
-// the schema, and the model state's internal consistency.
+// the schema, the method, and the model state's internal consistency.
 func Restore(s *Snapshot) (*Estimator, error) {
 	if s == nil {
 		return nil, fmt.Errorf("quicksel: nil snapshot")
 	}
-	if s.Version != SnapshotVersion {
-		return nil, fmt.Errorf("quicksel: unsupported snapshot version %d (want %d)", s.Version, SnapshotVersion)
+	if s.Version != 1 && s.Version != SnapshotVersion {
+		return nil, fmt.Errorf("quicksel: unsupported snapshot version %d (want 1 or %d)", s.Version, SnapshotVersion)
 	}
 	if s.Schema == nil {
 		return nil, fmt.Errorf("quicksel: snapshot has no schema")
@@ -52,18 +78,37 @@ func Restore(s *Snapshot) (*Estimator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("quicksel: snapshot schema: %w", err)
 	}
-	if s.Model == nil {
-		return nil, fmt.Errorf("quicksel: snapshot has no model state")
+	method := s.Method
+	if method == "" {
+		method = MethodQuickSel // version 1, or an elided default
 	}
-	if s.Model.Config.Dim != schema.Dim() {
-		return nil, fmt.Errorf("quicksel: snapshot model has dim %d, schema has %d",
-			s.Model.Config.Dim, schema.Dim())
+	var backend estimator.Backend
+	if method == MethodQuickSel {
+		if s.Model == nil {
+			return nil, fmt.Errorf("quicksel: snapshot has no model state")
+		}
+		if s.Model.Config.Dim != schema.Dim() {
+			return nil, fmt.Errorf("quicksel: snapshot model has dim %d, schema has %d",
+				s.Model.Config.Dim, schema.Dim())
+		}
+		backend, err = estimator.NewQuickSelFromModelSnapshot(s.Model)
+	} else {
+		if s.Version == 1 {
+			return nil, fmt.Errorf("quicksel: version 1 snapshot cannot carry method %q", s.Method)
+		}
+		if len(s.State) == 0 {
+			return nil, fmt.Errorf("quicksel: snapshot has no %q state", method)
+		}
+		backend, err = estimator.Restore(method, s.State)
 	}
-	m, err := core.Restore(s.Model)
 	if err != nil {
 		return nil, fmt.Errorf("quicksel: %w", err)
 	}
-	return &Estimator{schema: schema, model: m}, nil
+	if backend.Dim() != schema.Dim() {
+		return nil, fmt.Errorf("quicksel: snapshot %s state has dim %d, schema has %d",
+			method, backend.Dim(), schema.Dim())
+	}
+	return &Estimator{schema: schema, backend: backend}, nil
 }
 
 // EncodeSnapshot writes the estimator's snapshot as indented JSON.
