@@ -25,6 +25,8 @@
 //	ablmixture   Ablation: uniform vs Gaussian mixture model
 //	compare      per-method accuracy/latency over one workload, through the
 //	             pluggable serving backends (quicksel + all five baselines)
+//	drift        shadow vs always promotion under a mean-shift drifting
+//	             workload (recovery time / accuracy, through the registry)
 //	perf         training/serving kernel micro-benchmarks
 //	all          run every experiment above in order
 package main
@@ -56,6 +58,7 @@ func run(args []string) error {
 		fmt.Fprintln(fs.Output(), "experiments: table3 fig3 fig4 fig5 fig6 fig7a fig7b fig7c fig7d")
 		fmt.Fprintln(fs.Output(), "             abllambda ablpoints ablsolver ablcap ablscaling ablmixture all")
 		fmt.Fprintln(fs.Output(), "             compare (per-method accuracy/latency over the serving backends)")
+		fmt.Fprintln(fs.Output(), "             drift (promotion policies under a drifting workload -> BENCH_quicksel.json)")
 		fmt.Fprintln(fs.Output(), "             perf (training/serving kernel micro-benchmarks -> BENCH_quicksel.json)")
 		fs.PrintDefaults()
 	}
@@ -83,6 +86,8 @@ func run(args []string) error {
 		switch n {
 		case "perf":
 			rendered, err = runPerf(*out, *maxM)
+		case "drift":
+			rendered, err = runDriftBench(*rows, *seed, *out)
 		case "compare":
 			rendered, err = runCompare(*dataset, *rows, *maxN, *seed)
 		default:

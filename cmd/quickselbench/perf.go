@@ -34,12 +34,17 @@ type perfResult struct {
 	BatchPerQueryNs float64 `json:"estimate_batch_per_query_ns"`
 }
 
-// perfReport is the file shape of BENCH_quicksel.json.
+// perfReport is the file shape of BENCH_quicksel.json. The perf subcommand
+// owns the kernel fields; the drift subcommand owns the Drift section and
+// preserves the rest when it rewrites the file.
 type perfReport struct {
 	GoMaxProcs int          `json:"gomaxprocs"`
 	GoVersion  string       `json:"go_version"`
 	Note       string       `json:"note"`
 	Results    []perfResult `json:"results"`
+	// Drift is the recovery-time/accuracy comparison of promotion policies
+	// under a drifting workload (quickselbench drift).
+	Drift *driftReport `json:"drift,omitempty"`
 }
 
 // perfObserve feeds m/10 deterministic synthetic range queries so the
@@ -187,6 +192,12 @@ func runPerf(outPath string, maxM int) (string, error) {
 			res.EstimateNs, res.BatchPerQueryNs)
 	}
 	if outPath != "" {
+		// Preserve the sections other subcommands own (the drift report).
+		var existing perfReport
+		if data, err := os.ReadFile(outPath); err == nil {
+			_ = json.Unmarshal(data, &existing)
+		}
+		report.Drift = existing.Drift
 		data, err := json.MarshalIndent(&report, "", "  ")
 		if err != nil {
 			return "", err

@@ -18,9 +18,22 @@
 //	GET    /v1/{name}/estimate       estimate a WHERE clause (?where=...)
 //	POST   /v1/{name}/estimate/batch estimate many WHERE clauses in one call
 //	POST   /v1/{name}/train          synchronously flush + retrain
+//	GET    /v1/{name}/versions       list the estimator's model versions
+//	POST   /v1/{name}/rollback       restore an archived model version
+//	GET    /v1/{name}/accuracy       realized accuracy, drift, and gate status
 //	POST   /v1/snapshot              force a snapshot write
 //	GET    /metrics                  Prometheus metrics (labeled by method)
 //	GET    /healthz                  liveness probe
+//
+// Every estimator runs inside the model lifecycle (internal/lifecycle): an
+// accuracy tracker scores the serving model on each incoming observation, a
+// Page–Hinkley detector raises drift alarms that trigger immediate
+// retraining, every trained model becomes an immutable numbered version,
+// and the -retrain-policy flag (or the per-estimator "retrain_policy"
+// create option) decides whether a freshly trained challenger is swapped in
+// unconditionally (always), held for manual promotion (never), or
+// shadow-scored against the serving champion on held-out feedback and
+// promoted only if it wins (shadow).
 //
 // On SIGINT/SIGTERM the daemon drains in-flight requests, flushes and
 // trains every estimator, and persists a final snapshot; restarting with
@@ -38,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"quicksel/internal/lifecycle"
 	"quicksel/internal/server"
 )
 
@@ -49,6 +63,11 @@ func main() {
 		snapInterval  = flag.Duration("snapshot-interval", 0, "periodic snapshot interval (0 = only on shutdown and POST /v1/snapshot)")
 		bufferSize    = flag.Int("buffer", server.DefaultBufferSize, "per-estimator pending-observation buffer size")
 		seed          = flag.Int64("seed", 0, "default model seed for new estimators")
+
+		retrainPolicy  = flag.String("retrain-policy", "", "default promotion policy for trained models: always (default), never, or shadow")
+		driftThreshold = flag.Float64("drift-threshold", 0, "Page-Hinkley drift alarm threshold on realized estimate error (0 = default 0.25, negative disables)")
+		accuracyWindow = flag.Int("accuracy-window", 0, "rolling realized-accuracy window per estimator (0 = default 256 samples)")
+		versionHistory = flag.Int("version-history", 0, "archived model versions kept per estimator for rollback (0 = default 4)")
 	)
 	flag.Parse()
 
@@ -58,6 +77,12 @@ func main() {
 		SnapshotInterval: *snapInterval,
 		BufferSize:       *bufferSize,
 		Seed:             *seed,
+		Lifecycle: lifecycle.Config{
+			Policy:         lifecycle.Policy(*retrainPolicy),
+			DriftThreshold: *driftThreshold,
+			Window:         *accuracyWindow,
+			History:        *versionHistory,
+		},
 	})
 	if err != nil {
 		log.Fatalf("quickseld: %v", err)

@@ -84,6 +84,24 @@
 // a single model generation. docs/API.md is the full HTTP reference;
 // ARCHITECTURE.md maps the packages and data flow.
 //
+// # Model lifecycle
+//
+// Continuous learning needs guardrails: a burst of skewed feedback must not
+// silently degrade a serving model. Every Estimator carries a rolling
+// realized-accuracy window — Observe first asks the current model for its
+// estimate and records the (estimate, observed-actual) pair — exposed by
+// Accuracy and tuned with WithAccuracyWindow; a Page–Hinkley detector over
+// the realized error raises drift alarms (WithDriftThreshold). Inside
+// quickseld the loop closes: drift triggers an immediate retrain, every
+// trained model becomes an immutable numbered version (WithVersionHistory
+// bounds the archive), and WithRetrainPolicy decides whether a freshly
+// trained challenger serves — PolicyAlways swaps unconditionally,
+// PolicyNever archives it for manual promotion, and PolicyShadow scores it
+// against the serving champion on a held-out tail of the feedback batch,
+// promoting only a winner. POST /v1/{name}/rollback restores any archived
+// version bit-identically. `quickselbench drift` races the shadow and
+// always policies over a mean-shift drifting workload.
+//
 // # Performance
 //
 // Training runs its three heavy kernels — Q-matrix assembly over a flat

@@ -161,6 +161,10 @@ func (m *Model) Dim() int { return m.cfg.Dim }
 // NumObserved returns the number of recorded training queries.
 func (m *Model) NumObserved() int { return len(m.observations) }
 
+// NeedsTraining reports whether observations have arrived since the last
+// training run, i.e. whether the next Estimate would pay a lazy refit.
+func (m *Model) NeedsTraining() bool { return !m.trained && len(m.observations) > 0 }
+
 // ParamCount returns the number of model parameters (subpopulation
 // weights) of the last trained model; 0 before training.
 func (m *Model) ParamCount() int { return len(m.weights) }

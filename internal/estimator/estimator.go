@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"quicksel/internal/geom"
+	"quicksel/internal/lifecycle"
 )
 
 // Method names accepted by New and recorded in snapshots.
@@ -97,6 +98,11 @@ type Config struct {
 	// RowsPerObservation is how many synthetic rows the scan-backed methods
 	// materialize per feedback record (default 128).
 	RowsPerObservation int
+
+	// Lifecycle carries the model-lifecycle knobs (retrain policy, drift
+	// threshold, accuracy window, version history). Backends ignore it; the
+	// public Estimator and the serving registry consume it.
+	Lifecycle lifecycle.Config
 }
 
 // Stats is the common status snapshot every backend reports.
@@ -163,6 +169,24 @@ func Restore(method string, state json.RawMessage) (Backend, error) {
 	default:
 		return nil, &UnknownMethodError{Method: method}
 	}
+}
+
+// lazyFitter is implemented by backends whose Estimate pays a deferred
+// fitting step when observations are pending (QuickSel's QP solve, the
+// max-entropy scaling solve). Incremental backends don't implement it.
+type lazyFitter interface {
+	fitPending() bool
+}
+
+// FitPending reports whether the backend holds observations it has not yet
+// fitted — i.e. whether its next Estimate would trigger a lazy training
+// pass. The accuracy tracker uses this to skip realized-accuracy sampling
+// rather than force a refit on the observe path.
+func FitPending(b Backend) bool {
+	if lf, ok := b.(lazyFitter); ok {
+		return lf.fitPending()
+	}
+	return false
 }
 
 // estimateDisjoint sums a per-box estimator over disjoint boxes and clamps

@@ -58,6 +58,8 @@ func (b *isomerBackend) Estimate(boxes []geom.Box) (float64, error) {
 
 func (b *isomerBackend) Train() error { return b.h.Train() }
 
+func (b *isomerBackend) fitPending() bool { return b.h.NeedsTraining() }
+
 func (b *isomerBackend) Snapshot() (json.RawMessage, error) {
 	return json.Marshal(b.h.Snapshot())
 }

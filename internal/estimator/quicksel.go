@@ -67,6 +67,8 @@ func (b *quickselBackend) Estimate(boxes []geom.Box) (float64, error) {
 
 func (b *quickselBackend) Train() error { return b.m.Train() }
 
+func (b *quickselBackend) fitPending() bool { return b.m.NeedsTraining() }
+
 func (b *quickselBackend) Snapshot() (json.RawMessage, error) {
 	return json.Marshal(b.m.Snapshot())
 }

@@ -138,6 +138,10 @@ func (h *Histogram) ParamCount() int { return len(h.buckets) }
 // NumObserved returns the number of recorded queries.
 func (h *Histogram) NumObserved() int { return len(h.queries) }
 
+// NeedsTraining reports whether queries have arrived since the last scaling
+// solve, i.e. whether the next Estimate would pay a lazy training pass.
+func (h *Histogram) NeedsTraining() bool { return !h.trained && len(h.queries) > 0 }
+
 // Observe records a (predicate box, selectivity) pair, refining the bucket
 // partition so the box is exactly covered by whole buckets.
 func (h *Histogram) Observe(box geom.Box, sel float64) error {

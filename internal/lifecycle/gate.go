@@ -1,0 +1,55 @@
+package lifecycle
+
+// ShadowResult is the promotion gate's verdict: the champion and challenger
+// losses on the held-out tail and whether the challenger earned the serving
+// slot.
+type ShadowResult struct {
+	// Holdout is the number of held-out feedback records scored.
+	Holdout int `json:"holdout"`
+	// ChampionLoss and ChallengerLoss are mean q-errors over the holdout.
+	ChampionLoss   float64 `json:"champion_loss"`
+	ChallengerLoss float64 `json:"challenger_loss"`
+	// Promote is the verdict: the challenger wins on ties (it has seen
+	// strictly more feedback), loses otherwise.
+	Promote bool `json:"promote"`
+}
+
+// HoldoutSize returns how many records of an n-record training batch the
+// shadow gate holds out for scoring: fraction·n, at least 1 when the batch
+// can spare a record for training (n ≥ 2), 0 otherwise. A batch too small
+// to split is promoted without scoring — there is nothing to score against.
+func HoldoutSize(n int, fraction float64) int {
+	if n < 2 {
+		return 0
+	}
+	if fraction <= 0 || fraction >= 1 {
+		fraction = DefaultShadowFraction
+	}
+	k := int(float64(n) * fraction)
+	if k < 1 {
+		k = 1
+	}
+	if k > n-1 {
+		k = n - 1
+	}
+	return k
+}
+
+// Shadow scores a challenger against the serving champion on held-out
+// feedback: actuals are the observed selectivities, champion and challenger
+// the two models' estimates for the same predicates. Neither model has
+// trained on these records. The loss is the mean q-error (the paper's §5
+// accuracy measure); the challenger is promoted when its loss does not
+// exceed the champion's — on a tie the fresher model wins, since it has
+// absorbed strictly more feedback.
+func Shadow(actuals, champion, challenger []float64) ShadowResult {
+	champ := Summarize(champion, actuals)
+	chall := Summarize(challenger, actuals)
+	res := ShadowResult{
+		Holdout:        champ.Samples,
+		ChampionLoss:   champ.MeanQError,
+		ChallengerLoss: chall.MeanQError,
+	}
+	res.Promote = res.Holdout == 0 || res.ChallengerLoss <= res.ChampionLoss
+	return res
+}

@@ -27,6 +27,9 @@ type Server struct {
 	reqDrop          atomic.Uint64
 	reqSnapshot      atomic.Uint64
 	reqMetrics       atomic.Uint64
+	reqVersions      atomic.Uint64
+	reqRollback      atomic.Uint64
+	reqAccuracy      atomic.Uint64
 	reqErrors        atomic.Uint64
 }
 
@@ -44,6 +47,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/{name}/estimate", s.handleEstimate)
 	s.mux.HandleFunc("POST /v1/{name}/estimate/batch", s.handleEstimateBatch)
 	s.mux.HandleFunc("POST /v1/{name}/train", s.handleTrain)
+	s.mux.HandleFunc("GET /v1/{name}/versions", s.handleVersions)
+	s.mux.HandleFunc("POST /v1/{name}/rollback", s.handleRollback)
+	s.mux.HandleFunc("GET /v1/{name}/accuracy", s.handleAccuracy)
 	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -106,8 +112,9 @@ type createRequest struct {
 
 // createOptions tunes the model; zero fields keep the paper defaults.
 // The first block applies to the quicksel method, max_buckets to the
-// histogram methods (sthole/isomer/maxent), and the last block to the
-// scan-backed methods (sample/scanhist).
+// histogram methods (sthole/isomer/maxent), the scan block to the
+// scan-backed methods (sample/scanhist), and the lifecycle block to the
+// registry's model-lifecycle machinery (any method).
 type createOptions struct {
 	Seed               *int64  `json:"seed,omitempty"`
 	MaxSubpops         int     `json:"max_subpops,omitempty"`
@@ -121,6 +128,12 @@ type createOptions struct {
 	SampleSize         int     `json:"sample_size,omitempty"`
 	GridBuckets        int     `json:"grid_buckets,omitempty"`
 	RowsPerObservation int     `json:"rows_per_observation,omitempty"`
+
+	// Lifecycle knobs; zero fields inherit the daemon-wide flags.
+	RetrainPolicy  string  `json:"retrain_policy,omitempty"`
+	DriftThreshold float64 `json:"drift_threshold,omitempty"`
+	AccuracyWindow int     `json:"accuracy_window,omitempty"`
+	VersionHistory int     `json:"version_history,omitempty"`
 }
 
 func (o *createOptions) toOptions() []quicksel.Option {
@@ -163,6 +176,18 @@ func (o *createOptions) toOptions() []quicksel.Option {
 	}
 	if o.RowsPerObservation > 0 {
 		opts = append(opts, quicksel.WithRowsPerObservation(o.RowsPerObservation))
+	}
+	if o.RetrainPolicy != "" {
+		opts = append(opts, quicksel.WithRetrainPolicy(o.RetrainPolicy))
+	}
+	if o.DriftThreshold != 0 {
+		opts = append(opts, quicksel.WithDriftThreshold(o.DriftThreshold))
+	}
+	if o.AccuracyWindow > 0 {
+		opts = append(opts, quicksel.WithAccuracyWindow(o.AccuracyWindow))
+	}
+	if o.VersionHistory > 0 {
+		opts = append(opts, quicksel.WithVersionHistory(o.VersionHistory))
 	}
 	return opts
 }
@@ -345,6 +370,62 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "trained"})
+}
+
+// handleVersions lists an estimator's immutable model versions: the serving
+// one plus the bounded archive of previous champions and rejected
+// challengers, metadata only.
+func (s *Server) handleVersions(w http.ResponseWriter, r *http.Request) {
+	s.reqVersions.Add(1)
+	info, err := s.reg.Versions(r.PathValue("name"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, info)
+}
+
+// rollbackRequest is the body of POST /v1/{name}/rollback. Version 0 (or an
+// empty body) selects the most recently archived version — after a
+// promotion, the previous champion.
+type rollbackRequest struct {
+	Version int `json:"version,omitempty"`
+}
+
+func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
+	s.reqRollback.Add(1)
+	var req rollbackRequest
+	if r.ContentLength != 0 {
+		// Strict, like create: a typo such as "verison" must not silently
+		// roll back to the default (most recent) version.
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			s.writeError(w, fmt.Errorf("decode request: %w", err))
+			return
+		}
+	}
+	v, err := s.reg.Rollback(r.PathValue("name"), req.Version)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "rolled_back",
+		"version": v,
+	})
+}
+
+// handleAccuracy reports the estimator's realized accuracy window, drift
+// state, promotion policy, and serving version.
+func (s *Server) handleAccuracy(w http.ResponseWriter, r *http.Request) {
+	s.reqAccuracy.Add(1)
+	info, err := s.reg.Accuracy(r.PathValue("name"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {

@@ -25,6 +25,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("quickseld_requests_list_total", "List requests served.", s.reqList.Load())
 	counter("quickseld_requests_drop_total", "Drop requests served.", s.reqDrop.Load())
 	counter("quickseld_requests_snapshot_total", "Explicit snapshot requests served.", s.reqSnapshot.Load())
+	counter("quickseld_requests_versions_total", "Version-listing requests served.", s.reqVersions.Load())
+	counter("quickseld_requests_rollback_total", "Rollback requests served.", s.reqRollback.Load())
+	counter("quickseld_requests_accuracy_total", "Accuracy requests served.", s.reqAccuracy.Load())
 	counter("quickseld_requests_metrics_total", "Metrics scrapes served.", s.reqMetrics.Load())
 	counter("quickseld_request_errors_total", "Requests answered with a non-2xx status.", s.reqErrors.Load())
 	counter("quickseld_snapshots_saved_total", "Registry snapshots persisted.", s.reg.snapshotsSaved.Load())
@@ -73,6 +76,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		func(in EstimatorInfo) string { return fmt.Sprintf("%g", in.LastTrainSecs) })
 	perEst("quickseld_model_params", "Model parameters in the serving model (subpopulation weights, bucket frequencies, sampled coordinates, or grid cells, depending on the method).", "gauge",
 		func(in EstimatorInfo) string { return fmt.Sprintf("%d", in.Params) })
+
+	// Lifecycle series: drift detection, champion/challenger promotion, and
+	// version bookkeeping, all labeled by estimator and method.
+	perEst("quickseld_drift_events_total", "Drift alarms raised by the Page-Hinkley detector over realized estimate error.", "counter",
+		func(in EstimatorInfo) string { return fmt.Sprintf("%d", in.DriftEvents) })
+	perEst("quickseld_promotions_total", "Trained models promoted into the serving slot.", "counter",
+		func(in EstimatorInfo) string { return fmt.Sprintf("%d", in.Promotions) })
+	perEst("quickseld_promotions_rejected_total", "Trained challengers the shadow gate turned down (archived, never served).", "counter",
+		func(in EstimatorInfo) string { return fmt.Sprintf("%d", in.Rejections) })
+	perEst("quickseld_rollbacks_total", "Explicit version rollbacks served.", "counter",
+		func(in EstimatorInfo) string { return fmt.Sprintf("%d", in.Rollbacks) })
+	perEst("quickseld_model_version", "Immutable version number of the serving model.", "gauge",
+		func(in EstimatorInfo) string { return fmt.Sprintf("%d", in.Version) })
+	perEst("quickseld_window_mae", "Mean absolute error over the rolling realized-accuracy window.", "gauge",
+		func(in EstimatorInfo) string { return fmt.Sprintf("%g", in.WindowMAE) })
+	perEst("quickseld_window_mean_qerror", "Mean q-error over the rolling realized-accuracy window.", "gauge",
+		func(in EstimatorInfo) string { return fmt.Sprintf("%g", in.WindowQErr) })
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)

@@ -24,6 +24,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -33,6 +34,7 @@ import (
 	"time"
 
 	"quicksel"
+	"quicksel/internal/lifecycle"
 )
 
 // Defaults for Config fields left zero.
@@ -60,6 +62,12 @@ type Config struct {
 	// Seed is the default model seed for estimators created without an
 	// explicit seed.
 	Seed int64
+	// Lifecycle is the daemon-wide default lifecycle configuration (retrain
+	// policy, drift threshold, accuracy window, version history) for
+	// estimators created without explicit per-estimator options. Zero fields
+	// take the lifecycle package defaults; the zero value keeps the
+	// pre-lifecycle behaviour (always-promote) with tracking on.
+	Lifecycle lifecycle.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -78,28 +86,42 @@ type pendingObs struct {
 	sel  float64
 }
 
+// nan marks estimates that failed; the tracker skips them.
+var nan = math.NaN()
+
 // estimatorState is the per-estimator shard: its own lock, the serving
 // estimator (swapped atomically after background training), the bounded
 // pending buffer, and serving statistics. Work on different estimators
 // never contends.
 type estimatorState struct {
 	name string
+	life lifecycle.Config // resolved lifecycle configuration (immutable)
 
 	mu      sync.Mutex
 	serving *quicksel.Estimator // estimator answering Estimate right now
 	pending []pendingObs        // observations not yet trained in
+
+	// Lifecycle state, guarded by mu. tracker records the serving model's
+	// prequential accuracy (its estimate for each observation at ingest
+	// time); store is the bounded immutable version history.
+	tracker  *lifecycle.Tracker
+	store    *lifecycle.Store
+	lastGate *lifecycle.ShadowResult // most recent shadow verdict (nil before one)
 
 	// Stats, guarded by mu.
 	observedTotal uint64        // observations accepted since creation
 	droppedTotal  uint64        // observations dropped on a full buffer
 	trainedTotal  uint64        // background training runs
 	trainErrors   uint64        // training runs that failed
+	promotions    uint64        // trained models swapped into the serving slot
+	rejections    uint64        // trained challengers the gate turned down
+	rollbacks     uint64        // explicit rollbacks served
 	lastTrainErr  string        // message of the last failed run ("" if the last run succeeded)
 	lastTrainDur  time.Duration // duration of the last training run
 	lastTrainAt   time.Time
 
 	estimateTotal atomic.Uint64 // estimates served (atomic: off the mu path)
-	trainMu       sync.Mutex    // serializes training runs; never held on the estimate path
+	trainMu       sync.Mutex    // serializes training runs and rollbacks; never held on the estimate path
 }
 
 // Registry is the concurrent estimator registry behind the HTTP API. Create
@@ -111,10 +133,11 @@ type Registry struct {
 	mu         sync.RWMutex
 	estimators map[string]*estimatorState
 
-	wake  chan struct{}
-	done  chan struct{}
-	wg    sync.WaitGroup
-	stopO sync.Once
+	wake      chan struct{}
+	driftWake chan struct{} // drift alarms bypass the debounce entirely
+	done      chan struct{}
+	wg        sync.WaitGroup
+	stopO     sync.Once
 
 	// Registry-wide counters (atomics; hot paths don't take mu).
 	snapshotsSaved atomic.Uint64
@@ -124,10 +147,14 @@ type Registry struct {
 // NewRegistry builds a registry, reloads state from cfg.SnapshotPath if the
 // file exists, and starts the background training worker.
 func NewRegistry(cfg Config) (*Registry, error) {
+	if _, err := lifecycle.ParsePolicy(string(cfg.Lifecycle.Policy)); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
 	reg := &Registry{
 		cfg:        cfg.withDefaults(),
 		estimators: map[string]*estimatorState{},
 		wake:       make(chan struct{}, 1),
+		driftWake:  make(chan struct{}, 1),
 		done:       make(chan struct{}),
 	}
 	if reg.cfg.SnapshotPath != "" {
@@ -170,13 +197,37 @@ func (r *Registry) Create(name string, schema *quicksel.Schema, opts ...quicksel
 	if err != nil {
 		return err
 	}
+	st, err := r.newState(name, est, lifecycle.OriginInitial)
+	if err != nil {
+		return err
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.estimators[name]; ok {
 		return &ConflictError{Name: name}
 	}
-	r.estimators[name] = &estimatorState{name: name, serving: est}
+	r.estimators[name] = st
 	return nil
+}
+
+// newState builds the per-estimator shard: the lifecycle configuration
+// layers the estimator's own options over the daemon defaults, and the
+// initial model becomes version 1 of the estimator's version store.
+func (r *Registry) newState(name string, est *quicksel.Estimator, origin string) (*estimatorState, error) {
+	life := r.cfg.Lifecycle.Merge(est.LifecycleConfig()).WithDefaults()
+	payload, err := json.Marshal(est.Snapshot())
+	if err != nil {
+		return nil, fmt.Errorf("server: snapshot estimator %q: %w", name, err)
+	}
+	st := &estimatorState{
+		name:    name,
+		life:    life,
+		serving: est,
+		tracker: lifecycle.NewTracker(life),
+		store:   lifecycle.NewStore(life.History),
+	}
+	st.store.Init(origin, payload)
+	return st, nil
 }
 
 // Drop removes a named estimator and its state.
@@ -256,30 +307,87 @@ func (r *Registry) ObserveBatch(name string, batch []Observation) (backlog, acce
 	// validating everything up front keeps the batch all-or-nothing — a
 	// client retrying after a mid-batch 400 must not double-ingest the
 	// records before the bad one.
-	parsed := make([]pendingObs, len(batch))
+	parsed := make([]ParsedObservation, len(batch))
 	for i, o := range batch {
 		pred, err := quicksel.Parse(schema, o.Where)
 		if err != nil {
 			return 0, 0, fmt.Errorf("observation %d: %w", i, err)
 		}
-		parsed[i] = pendingObs{pred: pred, sel: o.Sel}
+		parsed[i] = ParsedObservation{Pred: pred, Sel: o.Sel}
+	}
+	_, backlog, accepted, err = r.ObserveParsed(name, parsed)
+	return backlog, accepted, err
+}
+
+// ParsedObservation is one pre-parsed feedback record for ObserveParsed.
+type ParsedObservation struct {
+	Pred *quicksel.Predicate
+	Sel  float64
+}
+
+// ObserveParsed ingests pre-parsed observations: it records each record's
+// prequential sample — the serving model's estimate for the predicate
+// before the feedback is absorbed — into the accuracy tracker, steps the
+// drift detector, and queues the batch for background training. A drift
+// alarm kicks the trainer immediately instead of waiting out the debounce.
+//
+// The returned estimates slice holds the serving model's answer for every
+// record (NaN where estimation failed), in input order — the realized
+// accuracy a benchmark or caller can score without a second round trip.
+func (r *Registry) ObserveParsed(name string, recs []ParsedObservation) (estimates []float64, backlog, accepted int, err error) {
+	st, err := r.state(name)
+	if err != nil {
+		return nil, 0, 0, err
 	}
 	st.mu.Lock()
-	defer st.mu.Unlock()
+	serving := st.serving
+	st.mu.Unlock()
+	// Estimate against the serving model outside st.mu — the Estimator has
+	// its own lock and the serving model is never mutated in place, so these
+	// reads race nothing.
+	estimates = make([]float64, len(recs))
+	for i, rec := range recs {
+		sel, eerr := serving.Estimate(rec.Pred)
+		if eerr != nil {
+			sel = nan
+		}
+		estimates[i] = sel
+	}
+	st.mu.Lock()
+	drifted := false
+	for i, rec := range recs {
+		if estimates[i] == estimates[i] { // skip NaNs
+			if st.tracker.Add(estimates[i], rec.Sel) {
+				drifted = true
+			}
+		}
+	}
 	room := r.cfg.BufferSize - len(st.pending)
 	if room < 0 {
 		room = 0
 	}
-	if room > len(parsed) {
-		room = len(parsed)
+	if room > len(recs) {
+		room = len(recs)
 	}
-	st.pending = append(st.pending, parsed[:room]...)
+	for _, rec := range recs[:room] {
+		st.pending = append(st.pending, pendingObs{pred: rec.Pred, sel: rec.Sel})
+	}
 	st.observedTotal += uint64(room)
-	st.droppedTotal += uint64(len(parsed) - room)
-	if room > 0 {
+	st.droppedTotal += uint64(len(recs) - room)
+	backlog = len(st.pending)
+	st.mu.Unlock()
+	if drifted {
+		// A drift alarm means the serving model is measurably stale: wake
+		// the trainer for an immediate pass instead of waiting out the
+		// debounce interval.
+		select {
+		case r.driftWake <- struct{}{}:
+		default:
+		}
+	} else if room > 0 {
 		r.kick()
 	}
-	return len(st.pending), room, nil
+	return estimates, backlog, room, nil
 }
 
 // Estimate serves a selectivity estimate from the estimator's current
@@ -351,8 +459,9 @@ func (r *Registry) kick() {
 
 // trainLoop is the background worker: every TrainInterval it retrains all
 // estimators with pending observations (the interval is the debounce — a
-// burst of observations causes one retrain, not one per observation), and
-// optionally persists snapshots on SnapshotInterval.
+// burst of observations causes one retrain, not one per observation). A
+// drift alarm skips the debounce: the wake on driftWake trains immediately.
+// The loop also optionally persists snapshots on SnapshotInterval.
 func (r *Registry) trainLoop() {
 	defer r.wg.Done()
 	ticker := time.NewTicker(r.cfg.TrainInterval)
@@ -371,21 +480,18 @@ func (r *Registry) trainLoop() {
 		case <-r.wake:
 			// Debounce: note the work, let the next tick do it.
 			dirty = true
+		case <-r.driftWake:
+			dirty = false
+			if r.trainAll() {
+				return
+			}
 		case <-ticker.C:
 			if !dirty && !r.anyPending() {
 				continue
 			}
 			dirty = false
-			for _, st := range r.states() {
-				select {
-				case <-r.done:
-					return
-				default:
-				}
-				// Errors are recorded in the estimator's stats
-				// (train_errors / last_train_error) by flushAndTrain;
-				// the failed batch is requeued and retried next tick.
-				_ = r.flushAndTrain(st)
+			if r.trainAll() {
+				return
 			}
 		case <-snapC:
 			if err := r.SaveSnapshot(); err != nil {
@@ -393,6 +499,22 @@ func (r *Registry) trainLoop() {
 			}
 		}
 	}
+}
+
+// trainAll flushes and retrains every estimator with pending observations;
+// it reports whether the registry is shutting down. Errors are recorded in
+// the estimator's stats (train_errors / last_train_error) by flushAndTrain;
+// a failed batch is requeued and retried next tick.
+func (r *Registry) trainAll() (stopping bool) {
+	for _, st := range r.states() {
+		select {
+		case <-r.done:
+			return true
+		default:
+		}
+		_ = r.flushAndTrain(st)
+	}
+	return false
 }
 
 func (r *Registry) anyPending() bool {
@@ -408,13 +530,23 @@ func (r *Registry) anyPending() bool {
 }
 
 // flushAndTrain drains the estimator's pending buffer into a clone of the
-// serving model, trains the clone, and swaps it in. The estimator's lock is
-// held only to take the buffer and to swap — never across the method's
-// training step (QP solve, iterative scaling, rescan) — so Estimate latency
-// is unaffected by training.
+// serving model, trains the clone, and routes the result through the
+// promotion gate. The estimator's lock is held only to take the buffer and
+// to swap — never across the method's training step (QP solve, iterative
+// scaling, rescan) — so Estimate latency is unaffected by training.
+//
+// Under PolicyShadow the tail of the batch is held out: the challenger
+// trains on the head only, both champion and challenger are scored on the
+// tail (which neither has trained on), and only a winning challenger —
+// after absorbing the tail too — is swapped in. A losing challenger is
+// archived as a rejected version; the champion keeps serving. PolicyNever
+// archives every trained model without swapping; PolicyAlways swaps
+// unconditionally. Every trained model becomes an immutable numbered
+// version either way.
+//
 // trainMu serializes trainers (the explicit Train endpoint can race the
-// background worker) so two runs cannot interleave swaps and lose
-// observations.
+// background worker) and rollbacks, so two runs cannot interleave swaps and
+// lose observations.
 func (r *Registry) flushAndTrain(st *estimatorState) error {
 	st.trainMu.Lock()
 	defer st.trainMu.Unlock()
@@ -429,12 +561,27 @@ func (r *Registry) flushAndTrain(st *estimatorState) error {
 	base := st.serving
 	st.mu.Unlock()
 
+	holdN := 0
+	// Shadow-score only when the champion has learned something: an
+	// untrained initial model is a uniform prior, and a sparse challenger's
+	// near-zero estimates off its support would lose to it forever,
+	// locking the estimator out of ever learning (cold-start lockout).
+	// The gate exists to protect a learned champion, not an empty one.
+	if st.life.Policy == lifecycle.PolicyShadow && base.NumObserved() > 0 {
+		holdN = lifecycle.HoldoutSize(len(batch), st.life.ShadowFraction)
+	}
+	head, tail := batch[:len(batch)-holdN], batch[len(batch)-holdN:]
+
 	start := time.Now()
 	// Clone via the snapshot API: the serving model keeps answering
 	// estimates while the clone absorbs the batch and pays the QP cost.
-	clone, err := quicksel.Restore(base.Snapshot())
+	// Untracked: realized accuracy lives in the registry's own tracker
+	// (which survives model swaps), so a clone-side tracker would only pay
+	// an extra Estimate per absorbed record and persist meaningless
+	// training-time samples.
+	clone, err := quicksel.RestoreUntracked(base.Snapshot())
 	if err == nil {
-		for _, o := range batch {
+		for _, o := range head {
 			if err = clone.Observe(o.pred, o.sel); err != nil {
 				break
 			}
@@ -443,6 +590,52 @@ func (r *Registry) flushAndTrain(st *estimatorState) error {
 	if err == nil {
 		err = clone.Train()
 	}
+
+	// Shadow-score the challenger against the champion on the held-out
+	// tail; neither model has trained on these records.
+	var gate *lifecycle.ShadowResult
+	promote := st.life.Policy != lifecycle.PolicyNever
+	if err == nil && holdN > 0 {
+		actuals := make([]float64, holdN)
+		champ := make([]float64, holdN)
+		chall := make([]float64, holdN)
+		for i, o := range tail {
+			actuals[i] = o.sel
+			if champ[i], err = base.Estimate(o.pred); err != nil {
+				break
+			}
+			if chall[i], err = clone.Estimate(o.pred); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			res := lifecycle.Shadow(actuals, champ, chall)
+			gate = &res
+			promote = res.Promote
+		}
+	}
+	// A winning challenger absorbs the held-out tail before serving: the
+	// promoted model has trained on the whole batch, the scored model only
+	// on the head.
+	if err == nil && promote {
+		for _, o := range tail {
+			if err = clone.Observe(o.pred, o.sel); err != nil {
+				break
+			}
+		}
+		if err == nil && holdN > 0 {
+			err = clone.Train()
+		}
+	}
+	if err != nil {
+		r.requeue(st, batch)
+		st.mu.Lock()
+		st.trainErrors++
+		st.lastTrainErr = err.Error()
+		st.mu.Unlock()
+		return err
+	}
+	payload, err := json.Marshal(clone.Snapshot())
 	if err != nil {
 		r.requeue(st, batch)
 		st.mu.Lock()
@@ -453,14 +646,153 @@ func (r *Registry) flushAndTrain(st *estimatorState) error {
 	}
 	dur := time.Since(start)
 
+	origin := lifecycle.OriginTrained
+	if !promote {
+		origin = lifecycle.OriginRejected
+	}
 	st.mu.Lock()
-	st.serving = clone
+	st.store.Add(origin, payload, st.observedTotal, st.tracker.Report().Metrics, gate, promote)
+	if promote {
+		st.serving = clone
+		st.promotions++
+		// The serving model changed: judge it on fresh drift statistics.
+		st.tracker.ResetDrift()
+	} else {
+		st.rejections++
+	}
+	st.lastGate = gate
 	st.trainedTotal++
 	st.lastTrainErr = ""
 	st.lastTrainDur = dur
 	st.lastTrainAt = time.Now()
 	st.mu.Unlock()
 	return nil
+}
+
+// Rollback swaps the named estimator's serving slot to an archived version:
+// the previous champion when versionID is 0, or any version still in the
+// bounded history. The outgoing model is archived in its place, so a
+// rollback is itself reversible. Under PolicyNever this is the manual
+// promotion path: trained-but-unserved versions sit in the history until an
+// operator rolls "back" onto one. The restored version serves bit-identical
+// estimates to when it was archived.
+func (r *Registry) Rollback(name string, versionID int) (lifecycle.Version, error) {
+	st, err := r.state(name)
+	if err != nil {
+		return lifecycle.Version{}, err
+	}
+	// trainMu keeps a concurrent train run from swapping between our
+	// restore and our publish; SaveSnapshot only reads under st.mu, and the
+	// store move + serving swap below happen in one st.mu critical section,
+	// so a snapshot can never capture a store/serving pair that disagree.
+	st.trainMu.Lock()
+	defer st.trainMu.Unlock()
+
+	st.mu.Lock()
+	cur := st.store.Current()
+	st.mu.Unlock()
+	if versionID != 0 && versionID == cur.ID {
+		return cur, nil // already serving
+	}
+
+	// Rebuild the model from the archived payload before touching the
+	// store: a version whose model fails to restore must leave the
+	// bookkeeping untouched. trainMu guarantees the store cannot change
+	// between Peek and Rollback.
+	st.mu.Lock()
+	v, err := st.store.Peek(versionID)
+	st.mu.Unlock()
+	if err != nil {
+		return lifecycle.Version{}, &RollbackError{Name: name, Err: err}
+	}
+	var snap quicksel.Snapshot
+	if err := json.Unmarshal(v.Payload, &snap); err != nil {
+		return lifecycle.Version{}, &RollbackError{Name: name, Err: fmt.Errorf("restore version %d: %w", v.ID, err)}
+	}
+	est, err := quicksel.RestoreUntracked(&snap)
+	if err != nil {
+		return lifecycle.Version{}, &RollbackError{Name: name, Err: fmt.Errorf("restore version %d: %w", v.ID, err)}
+	}
+
+	st.mu.Lock()
+	if _, err := st.store.Rollback(v.ID); err != nil {
+		st.mu.Unlock()
+		return lifecycle.Version{}, &RollbackError{Name: name, Err: err}
+	}
+	st.serving = est
+	st.rollbacks++
+	st.tracker.ResetDrift()
+	st.mu.Unlock()
+	return v.Meta(), nil
+}
+
+// RollbackError reports a rollback that could not be served (unknown or
+// evicted version, undecodable payload). The HTTP layer maps it to 400.
+type RollbackError struct {
+	Name string
+	Err  error
+}
+
+func (e *RollbackError) Error() string {
+	return fmt.Sprintf("server: rollback %q: %v", e.Name, e.Err)
+}
+
+func (e *RollbackError) Unwrap() error { return e.Err }
+
+// VersionsInfo is the version history of one estimator: the serving version
+// plus the bounded archive, newest first, metadata only.
+type VersionsInfo struct {
+	Name    string              `json:"estimator"`
+	Method  string              `json:"method"`
+	Current lifecycle.Version   `json:"current"`
+	History []lifecycle.Version `json:"history"`
+}
+
+// Versions lists the named estimator's version history.
+func (r *Registry) Versions(name string) (VersionsInfo, error) {
+	st, err := r.state(name)
+	if err != nil {
+		return VersionsInfo{}, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return VersionsInfo{
+		Name:    st.name,
+		Method:  st.serving.Method(),
+		Current: st.store.Current(),
+		History: st.store.History(),
+	}, nil
+}
+
+// AccuracyInfo is the realized-accuracy and lifecycle status of one
+// estimator: the rolling-window report, the promotion policy, the serving
+// version, and the most recent shadow verdict.
+type AccuracyInfo struct {
+	Name     string                  `json:"estimator"`
+	Method   string                  `json:"method"`
+	Policy   string                  `json:"policy"`
+	Accuracy lifecycle.Report        `json:"accuracy"`
+	Version  lifecycle.Version       `json:"version"`
+	LastGate *lifecycle.ShadowResult `json:"last_gate,omitempty"`
+}
+
+// Accuracy reports the named estimator's realized accuracy and lifecycle
+// status.
+func (r *Registry) Accuracy(name string) (AccuracyInfo, error) {
+	st, err := r.state(name)
+	if err != nil {
+		return AccuracyInfo{}, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return AccuracyInfo{
+		Name:     st.name,
+		Method:   st.serving.Method(),
+		Policy:   string(st.life.Policy),
+		Accuracy: st.tracker.Report(),
+		Version:  st.store.Current(),
+		LastGate: st.lastGate,
+	}, nil
 }
 
 // requeue returns a failed batch to the front of the pending buffer so a
@@ -489,11 +821,22 @@ type EstimatorInfo struct {
 	LastTrainErr  string  `json:"last_train_error,omitempty"`
 	LastTrainSecs float64 `json:"last_train_seconds"`
 	Params        int     `json:"params"`
+
+	// Lifecycle status.
+	Policy      string  `json:"policy"`
+	Version     int     `json:"version"`
+	Promotions  uint64  `json:"promotions_total"`
+	Rejections  uint64  `json:"rejections_total"`
+	Rollbacks   uint64  `json:"rollbacks_total"`
+	DriftEvents uint64  `json:"drift_events_total"`
+	WindowMAE   float64 `json:"window_mae"`
+	WindowQErr  float64 `json:"window_mean_qerror"`
 }
 
 func (r *Registry) info(st *estimatorState) EstimatorInfo {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	track := st.tracker.Report()
 	return EstimatorInfo{
 		Name:          st.name,
 		Method:        st.serving.Method(),
@@ -507,6 +850,14 @@ func (r *Registry) info(st *estimatorState) EstimatorInfo {
 		LastTrainErr:  st.lastTrainErr,
 		LastTrainSecs: st.lastTrainDur.Seconds(),
 		Params:        st.serving.ParamCount(),
+		Policy:        string(st.life.Policy),
+		Version:       st.store.Current().ID,
+		Promotions:    st.promotions,
+		Rejections:    st.rejections,
+		Rollbacks:     st.rollbacks,
+		DriftEvents:   track.DriftEvents,
+		WindowMAE:     track.MAE,
+		WindowQErr:    track.MeanQError,
 	}
 }
 
@@ -522,16 +873,36 @@ func (r *Registry) List() []EstimatorInfo {
 
 // snapshotFile is the JSON shape of the persisted registry. Each estimator
 // entry is a self-describing quicksel.Snapshot envelope carrying its method,
-// so restoring never needs out-of-band backend knowledge. File version 2
-// corresponds to the method-aware envelopes; version-1 files (which could
-// only hold quicksel-method estimators) still load.
+// so restoring never needs out-of-band backend knowledge. File version 3
+// adds the per-estimator lifecycle section (policy, accuracy tracker,
+// version history); version 2 corresponds to the method-aware envelopes;
+// version-1 files (which could only hold quicksel-method estimators) still
+// load. Older files load with fresh lifecycle state.
 type snapshotFile struct {
 	Version    int                           `json:"version"`
 	Estimators map[string]*quicksel.Snapshot `json:"estimators"`
+	// Lifecycles is the per-estimator lifecycle state (absent before v3).
+	// The serving model's version payload is elided — it is the estimator's
+	// envelope above — and reattached on load.
+	Lifecycles map[string]*lifecycleEntry `json:"lifecycles,omitempty"`
+}
+
+// lifecycleEntry is the persisted lifecycle state of one estimator.
+type lifecycleEntry struct {
+	Config   lifecycle.Config        `json:"config"`
+	Tracker  *lifecycle.TrackerState `json:"tracker,omitempty"`
+	Versions *lifecycle.StoreState   `json:"versions,omitempty"`
+	LastGate *lifecycle.ShadowResult `json:"last_gate,omitempty"`
+
+	Observed   uint64 `json:"observed_total"`
+	Trained    uint64 `json:"train_runs"`
+	Promotions uint64 `json:"promotions_total"`
+	Rejections uint64 `json:"rejections_total"`
+	Rollbacks  uint64 `json:"rollbacks_total"`
 }
 
 // snapshotFileVersion is the registry snapshot format this build writes.
-const snapshotFileVersion = 2
+const snapshotFileVersion = 3
 
 // SaveSnapshot flushes every estimator's pending observations, trains, and
 // atomically writes the full registry state to the configured snapshot
@@ -548,13 +919,32 @@ func (r *Registry) SaveSnapshot() error {
 			return err
 		}
 	}
-	out := snapshotFile{Version: snapshotFileVersion, Estimators: map[string]*quicksel.Snapshot{}}
+	out := snapshotFile{
+		Version:    snapshotFileVersion,
+		Estimators: map[string]*quicksel.Snapshot{},
+		Lifecycles: map[string]*lifecycleEntry{},
+	}
 	r.mu.RLock()
 	for name, st := range r.estimators {
+		// Capture the serving model and its lifecycle state in one critical
+		// section of the same lock the trainer's swap takes: a train run (or
+		// rollback) completing between two reads cannot produce a snapshot
+		// whose version history disagrees with its serving model.
 		st.mu.Lock()
 		est := st.serving
-		st.mu.Unlock()
 		snap := est.Snapshot()
+		entry := &lifecycleEntry{
+			Config:     st.life,
+			Tracker:    st.tracker.State(),
+			Versions:   st.store.State(true),
+			LastGate:   st.lastGate,
+			Observed:   st.observedTotal,
+			Trained:    st.trainedTotal,
+			Promotions: st.promotions,
+			Rejections: st.rejections,
+			Rollbacks:  st.rollbacks,
+		}
+		st.mu.Unlock()
 		if snap.Model == nil && len(snap.State) == 0 {
 			// Estimator.Snapshot has no error return, so a backend whose
 			// state failed to serialize yields an empty envelope. Refuse to
@@ -565,6 +955,7 @@ func (r *Registry) SaveSnapshot() error {
 			return fmt.Errorf("server: estimator %q (%s) produced an empty snapshot; keeping the previous snapshot file", name, est.Method())
 		}
 		out.Estimators[name] = snap
+		out.Lifecycles[name] = entry
 	}
 	r.mu.RUnlock()
 	data, err := json.MarshalIndent(&out, "", "  ")
@@ -608,18 +999,47 @@ func (r *Registry) loadSnapshotFile(path string) error {
 	if err := json.Unmarshal(data, &in); err != nil {
 		return fmt.Errorf("server: decode snapshot %s: %w", path, err)
 	}
-	if in.Version != 1 && in.Version != snapshotFileVersion {
+	if in.Version < 1 || in.Version > snapshotFileVersion {
 		return fmt.Errorf("server: unsupported snapshot version %d", in.Version)
 	}
 	for name, snap := range in.Estimators {
 		if !nameRE.MatchString(name) {
 			return fmt.Errorf("server: snapshot has invalid estimator name %q", name)
 		}
-		est, err := quicksel.Restore(snap)
+		est, err := quicksel.RestoreUntracked(snap)
 		if err != nil {
 			return fmt.Errorf("server: restore estimator %q: %w", name, err)
 		}
-		r.estimators[name] = &estimatorState{name: name, serving: est}
+		entry := in.Lifecycles[name] // nil for v1/v2 files: fresh lifecycle state
+		if entry == nil {
+			st, err := r.newState(name, est, lifecycle.OriginRestored)
+			if err != nil {
+				return err
+			}
+			r.estimators[name] = st
+			continue
+		}
+		life := entry.Config.WithDefaults()
+		// Reattach the serving model as the current version's payload (it is
+		// elided from the persisted store state to avoid writing the model
+		// twice).
+		payload, err := json.Marshal(snap)
+		if err != nil {
+			return fmt.Errorf("server: re-encode estimator %q: %w", name, err)
+		}
+		r.estimators[name] = &estimatorState{
+			name:          name,
+			life:          life,
+			serving:       est,
+			tracker:       lifecycle.RestoreTracker(life, entry.Tracker),
+			store:         lifecycle.RestoreStore(life.History, entry.Versions, payload),
+			lastGate:      entry.LastGate,
+			observedTotal: entry.Observed,
+			trainedTotal:  entry.Trained,
+			promotions:    entry.Promotions,
+			rejections:    entry.Rejections,
+			rollbacks:     entry.Rollbacks,
+		}
 	}
 	return nil
 }

@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"fmt"
+
+	"quicksel/internal/predicate"
+	"quicksel/internal/table"
+)
+
+// DriftKind selects the temporal drift pattern of a drifting feedback
+// stream. Both patterns change the data distribution over time — the drift
+// the model-lifecycle machinery (internal/lifecycle) exists to detect —
+// rather than just the query placement of ShiftKind.
+type DriftKind int
+
+const (
+	// MeanShiftDrift slides the Gaussian mean across the domain over the
+	// stream: the populated region (and the queries probing it) migrates, so
+	// a model trained on the early phases answers late-phase queries with
+	// stale geometry.
+	MeanShiftDrift DriftKind = iota
+	// CorrRotateDrift sweeps the pairwise correlation over the stream,
+	// rotating the density's principal axis from spherical toward the main
+	// diagonal: marginals stay put while the joint distribution — exactly
+	// what a multi-dimensional selectivity model learns — changes shape.
+	CorrRotateDrift
+)
+
+func (k DriftKind) String() string {
+	switch k {
+	case MeanShiftDrift:
+		return "mean-shift"
+	case CorrRotateDrift:
+		return "corr-rotate"
+	default:
+		return fmt.Sprintf("DriftKind(%d)", int(k))
+	}
+}
+
+// DriftConfig parameterizes a drifting Gaussian feedback stream. Zero
+// fields take the defaults noted per field.
+type DriftConfig struct {
+	// Kind is the drift pattern (default MeanShiftDrift).
+	Kind DriftKind
+	// Dim is the column count (default 2).
+	Dim int
+	// Rows is the table size of each stationary phase (default 20000).
+	Rows int
+	// Phases is the number of stationary segments; phase 0 is the
+	// pre-drift distribution (default 3).
+	Phases int
+	// QueriesPerPhase is the feedback records per phase (default 100).
+	QueriesPerPhase int
+	// Shift is the total mean displacement in σ across the stream
+	// (MeanShiftDrift; default 2).
+	Shift float64
+	// Corr0 and Corr1 are the correlation endpoints (CorrRotateDrift;
+	// defaults 0 → 0.9). Corr0 is also the standing correlation of a
+	// MeanShiftDrift stream.
+	Corr0, Corr1 float64
+	// MinWidth and MaxWidth bound the per-dimension query widths as
+	// fractions of the domain (defaults 0.10 and 0.40). Narrower queries
+	// overlap the pre-drift region less, so stale feedback conflicts less
+	// with the post-drift workload.
+	MinWidth, MaxWidth float64
+	// Seed drives the tables and queries; streams are deterministic in it.
+	Seed int64
+}
+
+func (c DriftConfig) withDefaults() DriftConfig {
+	if c.Dim <= 0 {
+		c.Dim = 2
+	}
+	if c.Rows <= 0 {
+		c.Rows = 20000
+	}
+	if c.Phases <= 0 {
+		c.Phases = 3
+	}
+	if c.QueriesPerPhase <= 0 {
+		c.QueriesPerPhase = 100
+	}
+	if c.Shift == 0 {
+		c.Shift = 2
+	}
+	if c.Kind == CorrRotateDrift && c.Corr1 == 0 {
+		c.Corr1 = 0.9
+	}
+	if c.MinWidth <= 0 {
+		c.MinWidth = 0.10
+	}
+	if c.MaxWidth <= 0 {
+		c.MaxWidth = 0.40
+	}
+	return c
+}
+
+// DriftStreamResult is a generated drifting feedback stream: the shared
+// schema, the concatenated per-phase records, and the phase boundaries.
+// Phase p spans Stream[PhaseStarts[p]:PhaseStarts[p+1]] (with len(Stream)
+// as the final bound).
+type DriftStreamResult struct {
+	Schema      *predicate.Schema
+	Stream      []Observed
+	PhaseStarts []int
+}
+
+// DriftStream generates a drifting feedback stream: Phases stationary
+// segments, each over its own materialized Gaussian table whose
+// distribution interpolates from the initial to the final configuration
+// (mean 0 → Shift·σ, or correlation Corr0 → Corr1). Queries are
+// data-centered against each phase's table — realistic workloads follow the
+// data — and observed selectivities are exact against that table.
+// Everything is deterministic in cfg.Seed.
+func DriftStream(cfg DriftConfig) (*DriftStreamResult, error) {
+	cfg = cfg.withDefaults()
+	res := &DriftStreamResult{}
+	for p := 0; p < cfg.Phases; p++ {
+		frac := 0.0
+		if cfg.Phases > 1 {
+			frac = float64(p) / float64(cfg.Phases-1)
+		}
+		shift, corr := 0.0, cfg.Corr0
+		switch cfg.Kind {
+		case MeanShiftDrift:
+			shift = cfg.Shift * frac
+		case CorrRotateDrift:
+			corr = cfg.Corr0 + (cfg.Corr1-cfg.Corr0)*frac
+		default:
+			return nil, fmt.Errorf("workload: unknown drift kind %d", int(cfg.Kind))
+		}
+		ds, err := newShiftedGaussian(cfg.Dim, cfg.Rows, corr, shift, cfg.Seed+int64(p))
+		if err != nil {
+			return nil, fmt.Errorf("workload: drift phase %d: %w", p, err)
+		}
+		res.Schema = ds.Schema // identical columns every phase
+		queries := DataCenteredQueries(ds, cfg.QueriesPerPhase, cfg.MinWidth, cfg.MaxWidth, cfg.Seed+1000+int64(p))
+		res.PhaseStarts = append(res.PhaseStarts, len(res.Stream))
+		res.Stream = append(res.Stream, Observe(ds, queries)...)
+	}
+	return res, nil
+}
+
+// newShiftedGaussian builds a Gaussian dataset with the given correlation
+// and mean displacement (in σ) on every coordinate.
+func newShiftedGaussian(dim, rows int, corr, shift float64, seed int64) (*Dataset, error) {
+	cols := make([]predicate.Column, dim)
+	for i := range cols {
+		cols[i] = predicate.Column{
+			Name: fmt.Sprintf("x%d", i),
+			Kind: predicate.Real,
+			Min:  -gaussianRange,
+			Max:  gaussianRange,
+		}
+	}
+	schema, err := predicate.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	ds := &Dataset{
+		Name:   fmt.Sprintf("gaussian(d=%d,corr=%g,shift=%gσ)", dim, corr, shift),
+		Schema: schema,
+		Table:  table.New(schema),
+	}
+	if err := AppendGaussianShifted(ds, rows, corr, shift, seed); err != nil {
+		return nil, err
+	}
+	ds.Table.ResetModified()
+	return ds, nil
+}

@@ -70,6 +70,16 @@ func NewGaussian(cfg GaussianConfig) (*Dataset, error) {
 // normal into an existing Gaussian dataset. Figure 5 uses this to shift the
 // data distribution (inserting batches with increasing correlation).
 func AppendGaussian(ds *Dataset, rows int, corr float64, seed int64) error {
+	return AppendGaussianShifted(ds, rows, corr, 0, seed)
+}
+
+// AppendGaussianShifted is AppendGaussian with the distribution's mean
+// displaced by shift standard deviations on every coordinate. The drifting
+// workload generators use it to slide the populated region of the domain
+// over time (mean-shift drift); values remain clipped to the schema's
+// [-gaussianRange, gaussianRange) domain, so shifts beyond ~2σ start piling
+// mass on the boundary.
+func AppendGaussianShifted(ds *Dataset, rows int, corr, shift float64, seed int64) error {
 	d := ds.Schema.Dim()
 	if corr >= 1 {
 		corr = 0.999
@@ -87,7 +97,7 @@ func AppendGaussian(ds *Dataset, rows int, corr float64, seed int64) error {
 		}
 		x := make([]float64, d)
 		for i := 0; i < d; i++ {
-			var s float64
+			s := shift
 			for j := 0; j <= i; j++ {
 				s += l[i*d+j] * z[j]
 			}

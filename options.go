@@ -1,6 +1,9 @@
 package quicksel
 
-import "quicksel/internal/estimator"
+import (
+	"quicksel/internal/estimator"
+	"quicksel/internal/lifecycle"
+)
 
 // Option configures an Estimator at construction time.
 type Option func(*estimator.Config)
@@ -124,4 +127,59 @@ func WithGridBuckets(n int) Option {
 // memory and refresh cost.
 func WithRowsPerObservation(n int) Option {
 	return func(c *estimator.Config) { c.RowsPerObservation = n }
+}
+
+// Retrain policies accepted by WithRetrainPolicy. They control how the
+// quickseld serving registry treats a freshly trained challenger model; see
+// the internal/lifecycle package for the promotion protocol.
+const (
+	// PolicyAlways swaps every trained model in unconditionally (default).
+	PolicyAlways = string(lifecycle.PolicyAlways)
+	// PolicyNever archives trained models as versions without serving them;
+	// the serving model changes only through explicit rollback.
+	PolicyNever = string(lifecycle.PolicyNever)
+	// PolicyShadow scores the challenger against the serving champion on a
+	// held-out tail of the feedback batch and promotes only a winner.
+	PolicyShadow = string(lifecycle.PolicyShadow)
+)
+
+// Policies returns the valid retrain policy names.
+func Policies() []string { return lifecycle.Policies() }
+
+// WithRetrainPolicy selects the promotion policy applied when the serving
+// registry retrains this estimator: PolicyAlways (default), PolicyNever, or
+// PolicyShadow. An unknown name fails New with an error listing the valid
+// policies. Outside the registry the policy is carried in the estimator's
+// lifecycle configuration but does not change Train, which remains
+// synchronous and unconditional.
+func WithRetrainPolicy(policy string) Option {
+	return func(c *estimator.Config) { c.Lifecycle.Policy = lifecycle.Policy(policy) }
+}
+
+// WithDriftThreshold sets the Page–Hinkley alarm threshold λ of the
+// estimator's accuracy tracker (default 0.25). The tracker accumulates how
+// far the realized absolute estimate error runs above its own running mean;
+// crossing λ raises a drift alarm, which the serving registry answers with
+// an immediate retrain. Lower values are more sensitive. Pass a negative
+// value to disable drift detection.
+func WithDriftThreshold(lambda float64) Option {
+	return func(c *estimator.Config) { c.Lifecycle.DriftThreshold = lambda }
+}
+
+// WithAccuracyWindow sets the capacity of the rolling realized-accuracy
+// window behind Estimator.Accuracy (default 256 samples). Each Observe
+// first asks the current model for its estimate and records the (estimate,
+// observed-actual) pair; observations that arrive while a lazily-fitted
+// model has an unfitted batch pending are not sampled, so tracking never
+// forces a refit on the observe path.
+func WithAccuracyWindow(n int) Option {
+	return func(c *estimator.Config) { c.Lifecycle.Window = n }
+}
+
+// WithVersionHistory bounds how many archived model versions (previous
+// champions and rejected challengers) the serving registry keeps for this
+// estimator (default 4). Larger histories allow deeper rollback at the
+// memory cost of one full model snapshot per version.
+func WithVersionHistory(n int) Option {
+	return func(c *estimator.Config) { c.Lifecycle.History = n }
 }

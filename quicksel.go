@@ -6,6 +6,7 @@ import (
 
 	"quicksel/internal/estimator"
 	"quicksel/internal/geom"
+	"quicksel/internal/lifecycle"
 	"quicksel/internal/predicate"
 )
 
@@ -76,7 +77,24 @@ type Estimator struct {
 	mu      sync.Mutex
 	schema  *Schema
 	backend estimator.Backend
+
+	// life is the lifecycle configuration exactly as the caller specified it
+	// (zero fields unset); the serving registry layers it over its own
+	// defaults. tracker is the realized-accuracy window behind Accuracy,
+	// running on the resolved defaults.
+	life    lifecycle.Config
+	tracker *lifecycle.Tracker
 }
+
+// LifecycleConfig is the model-lifecycle tuning carried by an Estimator:
+// retrain policy, accuracy window, drift threshold, and version-history
+// bound. It aliases the internal lifecycle package's config, the same way
+// Schema aliases the internal predicate package.
+type LifecycleConfig = lifecycle.Config
+
+// Accuracy summarizes an estimator's realized accuracy: rolling-window MAE
+// and q-error plus the drift detector's state. See Estimator.Accuracy.
+type Accuracy = lifecycle.Report
 
 // New returns an estimator for the given schema. Options select the
 // estimation method (default: MethodQuickSel) and tune the paper's defaults
@@ -89,11 +107,19 @@ func New(schema *Schema, opts ...Option) (*Estimator, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if _, err := lifecycle.ParsePolicy(string(cfg.Lifecycle.Policy)); err != nil {
+		return nil, fmt.Errorf("quicksel: %w", err)
+	}
 	b, err := estimator.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Estimator{schema: schema, backend: b}, nil
+	return &Estimator{
+		schema:  schema,
+		backend: b,
+		life:    cfg.Lifecycle,
+		tracker: lifecycle.NewTracker(cfg.Lifecycle),
+	}, nil
 }
 
 // Schema returns the estimator's schema.
@@ -108,6 +134,12 @@ func (e *Estimator) Method() string { return e.backend.Method() }
 // lowered to disjoint hyperrectangles and each rectangle is recorded with
 // its share of the observed selectivity (proportional to volume), matching
 // the paper's inclusion-exclusion treatment of non-conjunctive predicates.
+// Observe also feeds the realized-accuracy tracker: the current model's
+// estimate for the predicate is recorded against the observed actual, so
+// Accuracy reports what the model would have answered before absorbing the
+// feedback. When a lazily-fitted model (quicksel, isomer, maxent) has an
+// unfitted batch pending, the sample is skipped rather than forcing a refit
+// on the observe path.
 func (e *Estimator) Observe(p *Predicate, trueSelectivity float64) error {
 	boxes, err := p.Boxes(e.schema)
 	if err != nil {
@@ -115,6 +147,11 @@ func (e *Estimator) Observe(p *Predicate, trueSelectivity float64) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.tracker != nil && !estimator.FitPending(e.backend) {
+		if est, err := e.backend.Estimate(boxes); err == nil {
+			e.tracker.Add(est, trueSelectivity)
+		}
+	}
 	switch len(boxes) {
 	case 0:
 		return nil // predicate selects nothing; nothing to learn
@@ -199,6 +236,26 @@ func (e *Estimator) EstimateBatchWhere(wheres []string) ([]float64, error) {
 	}
 	return e.EstimateBatch(preds)
 }
+
+// Accuracy reports the estimator's realized accuracy: MAE and q-error over
+// the rolling window of (estimate, observed-actual) pairs recorded by
+// Observe, plus the Page–Hinkley drift detector's state. A fresh estimator
+// (or one that has only observed, never been fitted) reports zero samples,
+// as does one rebuilt with RestoreUntracked. Tune the window with
+// WithAccuracyWindow and the detector with WithDriftThreshold.
+func (e *Estimator) Accuracy() Accuracy {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.tracker == nil {
+		return Accuracy{}
+	}
+	return e.tracker.Report()
+}
+
+// LifecycleConfig returns the lifecycle tuning exactly as specified at
+// construction (zero fields were left unset). The serving registry layers
+// it over the daemon's defaults.
+func (e *Estimator) LifecycleConfig() LifecycleConfig { return e.life }
 
 // NumObserved returns the number of observed queries recorded so far.
 func (e *Estimator) NumObserved() int {

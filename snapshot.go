@@ -7,13 +7,15 @@ import (
 
 	"quicksel/internal/core"
 	"quicksel/internal/estimator"
+	"quicksel/internal/lifecycle"
 )
 
 // SnapshotVersion is the format version of estimator snapshots produced by
-// this package. Version 2 adds the Method field and the method-specific
-// State payload; DecodeSnapshot and Restore also accept version 1 (which
-// could only hold the QuickSel method).
-const SnapshotVersion = 2
+// this package. Version 3 adds the Lifecycle field (accuracy-tracker state
+// and lifecycle configuration); version 2 added the Method field and the
+// method-specific State payload. DecodeSnapshot and Restore accept versions
+// 1 (QuickSel method only), 2, and 3.
+const SnapshotVersion = 3
 
 // Snapshot is the full serializable state of an Estimator: its schema, the
 // estimation method backing it, and the method's model state. A restored
@@ -34,6 +36,18 @@ type Snapshot struct {
 	Model *core.Snapshot `json:"model,omitempty"`
 	// State is the backend state of non-QuickSel methods; nil for QuickSel.
 	State json.RawMessage `json:"state,omitempty"`
+	// Lifecycle carries the lifecycle configuration and the realized-accuracy
+	// tracker so a restored estimator resumes Accuracy where it left off.
+	// Absent in version 1/2 envelopes; a restored v1/v2 estimator starts
+	// with a fresh tracker. Bit-identity of estimates never depends on it.
+	Lifecycle *SnapshotLifecycle `json:"lifecycle,omitempty"`
+}
+
+// SnapshotLifecycle is the lifecycle section of a version-3 snapshot
+// envelope.
+type SnapshotLifecycle struct {
+	Config  LifecycleConfig         `json:"config"`
+	Tracker *lifecycle.TrackerState `json:"tracker,omitempty"`
 }
 
 // Snapshot exports the estimator's state. The snapshot shares no storage
@@ -42,9 +56,13 @@ func (e *Estimator) Snapshot() *Snapshot {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	s := &Snapshot{
-		Version: SnapshotVersion,
-		Method:  e.backend.Method(),
-		Schema:  &Schema{Cols: append([]Column(nil), e.schema.Cols...)},
+		Version:   SnapshotVersion,
+		Method:    e.backend.Method(),
+		Schema:    &Schema{Cols: append([]Column(nil), e.schema.Cols...)},
+		Lifecycle: &SnapshotLifecycle{Config: e.life},
+	}
+	if e.tracker != nil {
+		s.Lifecycle.Tracker = e.tracker.State()
 	}
 	if m := estimator.ModelSnapshot(e.backend); m != nil {
 		s.Model = m
@@ -64,12 +82,22 @@ func (e *Estimator) Snapshot() *Snapshot {
 
 // Restore rebuilds an estimator from a snapshot, validating the version,
 // the schema, the method, and the model state's internal consistency.
-func Restore(s *Snapshot) (*Estimator, error) {
+func Restore(s *Snapshot) (*Estimator, error) { return restore(s, true) }
+
+// RestoreUntracked is Restore with in-process accuracy tracking disabled:
+// Observe skips the prequential sample and Accuracy reports an empty
+// window. The serving registry uses it for training clones and reloaded
+// serving models — it records realized accuracy registry-side, across
+// model swaps, so a per-model tracker would only duplicate work on the
+// training path and persist meaningless samples.
+func RestoreUntracked(s *Snapshot) (*Estimator, error) { return restore(s, false) }
+
+func restore(s *Snapshot, track bool) (*Estimator, error) {
 	if s == nil {
 		return nil, fmt.Errorf("quicksel: nil snapshot")
 	}
-	if s.Version != 1 && s.Version != SnapshotVersion {
-		return nil, fmt.Errorf("quicksel: unsupported snapshot version %d (want 1 or %d)", s.Version, SnapshotVersion)
+	if s.Version < 1 || s.Version > SnapshotVersion {
+		return nil, fmt.Errorf("quicksel: unsupported snapshot version %d (want 1..%d)", s.Version, SnapshotVersion)
 	}
 	if s.Schema == nil {
 		return nil, fmt.Errorf("quicksel: snapshot has no schema")
@@ -108,7 +136,20 @@ func Restore(s *Snapshot) (*Estimator, error) {
 		return nil, fmt.Errorf("quicksel: snapshot %s state has dim %d, schema has %d",
 			method, backend.Dim(), schema.Dim())
 	}
-	return &Estimator{schema: schema, backend: backend}, nil
+	var lcfg LifecycleConfig
+	var tstate *lifecycle.TrackerState
+	if s.Lifecycle != nil {
+		lcfg = s.Lifecycle.Config
+		tstate = s.Lifecycle.Tracker
+	}
+	if _, err := lifecycle.ParsePolicy(string(lcfg.Policy)); err != nil {
+		return nil, fmt.Errorf("quicksel: snapshot lifecycle: %w", err)
+	}
+	e := &Estimator{schema: schema, backend: backend, life: lcfg}
+	if track {
+		e.tracker = lifecycle.RestoreTracker(lcfg, tstate)
+	}
+	return e, nil
 }
 
 // EncodeSnapshot writes the estimator's snapshot as indented JSON.

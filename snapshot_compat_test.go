@@ -1,0 +1,88 @@
+package quicksel_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"quicksel"
+)
+
+// fixtureProbe is one frozen (WHERE, expected-estimate) pair.
+type fixtureProbe struct {
+	Where string  `json:"where"`
+	Want  float64 `json:"want"`
+}
+
+// snapshotFixture mirrors testdata/gen's output shape.
+type snapshotFixture struct {
+	Comment  string             `json:"comment"`
+	Snapshot *quicksel.Snapshot `json:"snapshot"`
+	Probes   []fixtureProbe     `json:"probes"`
+}
+
+func loadSnapshotFixture(t *testing.T, name string) snapshotFixture {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fx snapshotFixture
+	if err := json.Unmarshal(data, &fx); err != nil {
+		t.Fatalf("decode %s: %v", name, err)
+	}
+	if fx.Snapshot == nil || len(fx.Probes) == 0 {
+		t.Fatalf("fixture %s is incomplete", name)
+	}
+	return fx
+}
+
+// TestSnapshotEnvelopeCompat restores the committed v1 and v2 envelope
+// fixtures with current (v3) code and requires bit-identical estimates to
+// the values frozen when the fixtures were generated. The fixtures are
+// files on disk, not snapshots built in-process, so a format change that
+// would break real persisted state breaks this test.
+func TestSnapshotEnvelopeCompat(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		version    int
+		wantMethod string
+	}{
+		{"snapshot_v1.json", 1, quicksel.MethodQuickSel},
+		{"snapshot_v2.json", 2, quicksel.MethodSTHoles},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fx := loadSnapshotFixture(t, tc.name)
+			if fx.Snapshot.Version != tc.version {
+				t.Fatalf("fixture envelope version = %d, want %d (was the fixture regenerated?)",
+					fx.Snapshot.Version, tc.version)
+			}
+			est, err := quicksel.Restore(fx.Snapshot)
+			if err != nil {
+				t.Fatalf("Restore(v%d): %v", tc.version, err)
+			}
+			if est.Method() != tc.wantMethod {
+				t.Fatalf("restored method = %q, want %q", est.Method(), tc.wantMethod)
+			}
+			for _, p := range fx.Probes {
+				got, err := est.EstimateWhere(p.Where)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != p.Want {
+					t.Errorf("EstimateWhere(%q) = %v, want bit-identical %v", p.Where, got, p.Want)
+				}
+			}
+			// Old envelopes carry no lifecycle section: the restored
+			// estimator starts a fresh accuracy window rather than failing.
+			if acc := est.Accuracy(); acc.Samples != 0 {
+				t.Errorf("restored v%d estimator has %d accuracy samples, want 0", tc.version, acc.Samples)
+			}
+			// And re-snapshotting upgrades to the current envelope version.
+			if s := est.Snapshot(); s.Version != quicksel.SnapshotVersion {
+				t.Errorf("re-snapshot version = %d, want %d", s.Version, quicksel.SnapshotVersion)
+			}
+		})
+	}
+}

@@ -1,0 +1,196 @@
+// Command gen regenerates the snapshot-envelope compatibility fixtures:
+// old-format (v1/v2) estimator envelopes and registry files, each paired
+// with probe WHERE clauses and the exact estimates the model produced when
+// the fixture was written. The compat tests (snapshot_compat_test.go,
+// internal/server/compat_test.go) restore the fixtures with current code
+// and require bit-identical estimates, so these files must never be
+// regenerated casually — they exist to freeze the old formats.
+//
+// Run from the repository root: go run ./testdata/gen
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+
+	"quicksel"
+)
+
+// probe is one WHERE clause with the estimate frozen at generation time.
+type probe struct {
+	Where string  `json:"where"`
+	Want  float64 `json:"want"`
+}
+
+// snapshotFixture is the shape of testdata/snapshot_v*.json.
+type snapshotFixture struct {
+	Comment  string             `json:"comment"`
+	Snapshot *quicksel.Snapshot `json:"snapshot"`
+	Probes   []probe            `json:"probes"`
+}
+
+// registryFixture is the shape of internal/server/testdata/registry_v*.json.
+// File is the raw registry snapshot file; the test writes it to disk and
+// boots a registry from it.
+type registryFixture struct {
+	Comment string             `json:"comment"`
+	File    json.RawMessage    `json:"file"`
+	Probes  map[string][]probe `json:"probes"`
+}
+
+var probeWheres = []string{
+	"age >= 50",
+	"age BETWEEN 25 AND 44",
+	"salary < 40000 OR salary >= 150000",
+	"age < 30 AND salary >= 100000",
+}
+
+func buildEstimator(method string, seed int64) (*quicksel.Estimator, error) {
+	schema, err := quicksel.NewSchema(
+		quicksel.Column{Name: "age", Kind: quicksel.Integer, Min: 18, Max: 90},
+		quicksel.Column{Name: "salary", Kind: quicksel.Real, Min: 0, Max: 300_000},
+	)
+	if err != nil {
+		return nil, err
+	}
+	opts := []quicksel.Option{quicksel.WithSeed(seed)}
+	if method != "" {
+		opts = append(opts, quicksel.WithMethod(method))
+	}
+	est, err := quicksel.New(schema, opts...)
+	if err != nil {
+		return nil, err
+	}
+	obs := []struct {
+		where string
+		sel   float64
+	}{
+		{"age BETWEEN 18 AND 29", 0.22},
+		{"age BETWEEN 30 AND 49", 0.41},
+		{"salary >= 100000", 0.18},
+		{"age BETWEEN 30 AND 49 AND salary >= 100000", 0.12},
+		{"salary < 40000", 0.35},
+	}
+	for _, o := range obs {
+		if err := est.ObserveWhere(o.where, o.sel); err != nil {
+			return nil, err
+		}
+	}
+	if err := est.Train(); err != nil {
+		return nil, err
+	}
+	return est, nil
+}
+
+func probesFor(est *quicksel.Estimator) ([]probe, error) {
+	out := make([]probe, len(probeWheres))
+	for i, w := range probeWheres {
+		sel, err := est.EstimateWhere(w)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = probe{Where: w, Want: sel}
+	}
+	return out, nil
+}
+
+// downgrade rewrites a current (v3) envelope into the given old format
+// version: v1 carried no method or state fields (QuickSel only), v2 carried
+// method+state but no lifecycle section.
+func downgrade(s *quicksel.Snapshot, version int) *quicksel.Snapshot {
+	s.Version = version
+	s.Lifecycle = nil
+	if version == 1 {
+		s.Method = ""
+		s.State = nil
+	}
+	return s
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}
+
+func main() {
+	// Root fixtures: one v1 envelope (quicksel method, pre-method format)
+	// and one v2 envelope (sthole method, pre-lifecycle format).
+	qs, err := buildEstimator("", 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qsProbes, err := probesFor(qs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := writeJSON("testdata/snapshot_v1.json", snapshotFixture{
+		Comment:  "version-1 estimator envelope (pre-method format, QuickSel only); estimates frozen at generation time",
+		Snapshot: downgrade(qs.Snapshot(), 1),
+		Probes:   qsProbes,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	sth, err := buildEstimator(quicksel.MethodSTHoles, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sthProbes, err := probesFor(sth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := writeJSON("testdata/snapshot_v2.json", snapshotFixture{
+		Comment:  "version-2 estimator envelope (method-aware, pre-lifecycle format) carrying the sthole method",
+		Snapshot: downgrade(sth.Snapshot(), 2),
+		Probes:   sthProbes,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Registry fixtures: a v1 file (quicksel-only, envelopes downgraded to
+	// v1) and a v2 file (one quicksel + one sthole estimator, envelopes at
+	// v2).
+	type registryFile struct {
+		Version    int                           `json:"version"`
+		Estimators map[string]*quicksel.Snapshot `json:"estimators"`
+	}
+	v1file, err := json.Marshal(registryFile{
+		Version:    1,
+		Estimators: map[string]*quicksel.Snapshot{"people": downgrade(qs.Snapshot(), 1)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := writeJSON("internal/server/testdata/registry_v1.json", registryFixture{
+		Comment: "version-1 registry snapshot file (quicksel-only envelopes)",
+		File:    v1file,
+		Probes:  map[string][]probe{"people": qsProbes},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	v2file, err := json.Marshal(registryFile{
+		Version: 2,
+		Estimators: map[string]*quicksel.Snapshot{
+			"people":   downgrade(qs.Snapshot(), 2),
+			"people_h": downgrade(sth.Snapshot(), 2),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := writeJSON("internal/server/testdata/registry_v2.json", registryFixture{
+		Comment: "version-2 registry snapshot file (method-aware envelopes, no lifecycle section)",
+		File:    v2file,
+		Probes:  map[string][]probe{"people": qsProbes, "people_h": sthProbes},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("fixtures regenerated")
+}
