@@ -42,6 +42,9 @@ type perfReport struct {
 	GoVersion  string       `json:"go_version"`
 	Note       string       `json:"note"`
 	Results    []perfResult `json:"results"`
+	// Observe is the ingest-path throughput comparison with the
+	// write-ahead log off vs on (observe.go; owned by the perf subcommand).
+	Observe *observeReport `json:"observe,omitempty"`
 	// Drift is the recovery-time/accuracy comparison of promotion policies
 	// under a drifting workload (quickselbench drift).
 	Drift *driftReport `json:"drift,omitempty"`
@@ -191,6 +194,14 @@ func runPerf(outPath string, maxM int) (string, error) {
 			res.M, res.D, res.TrainSeqMs, res.TrainParMs, res.TrainSpeedup,
 			res.EstimateNs, res.BatchPerQueryNs)
 	}
+	observe, observeOut, err := runObserveBench()
+	if err != nil {
+		return "", fmt.Errorf("perf observe: %w", err)
+	}
+	report.Observe = observe
+	b.WriteString("\n")
+	b.WriteString(observeOut)
+
 	if outPath != "" {
 		// Preserve the sections other subcommands own (the drift report).
 		var existing perfReport

@@ -1,0 +1,282 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// The kill -9 end-to-end test of the durability acceptance criterion: a
+// real quickseld process is killed with SIGKILL mid-stream, restarted on
+// the same directories, and must recover every acknowledged observation —
+// its post-train estimates match an uncrashed control daemon fed the same
+// stream, bit for bit.
+
+const e2eSchema = `{"columns": [
+	{"name": "age",    "kind": "integer", "min": 18, "max": 90},
+	{"name": "salary", "kind": "real",    "min": 0,  "max": 300000}
+]}`
+
+// e2eObservations mirrors the server tests' consistent uniform-truth
+// stream.
+func e2eObservations(n int, seed int64) []map[string]any {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]map[string]any, n)
+	for i := range out {
+		age := 18 + rng.Intn(60)
+		salary := 50000 + rng.Float64()*200000
+		fracAge := float64(90-age+1) / (90 - 18 + 1)
+		out[i] = map[string]any{
+			"where":       fmt.Sprintf("age >= %d AND salary < %.0f", age, salary),
+			"selectivity": fracAge * salary / 300000,
+		}
+	}
+	return out
+}
+
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "quickseld")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+type daemon struct {
+	t    *testing.T
+	cmd  *exec.Cmd
+	base string
+	out  bytes.Buffer
+}
+
+func startDaemon(t *testing.T, bin, addr string, dir string) *daemon {
+	t.Helper()
+	d := &daemon{t: t, base: "http://" + addr}
+	d.cmd = exec.Command(bin,
+		"-addr", addr,
+		"-snapshot", filepath.Join(dir, "snap.json"),
+		"-wal-dir", filepath.Join(dir, "wal"),
+		"-wal-fsync", "interval",
+		"-train-interval", "1h", // no background training: the test controls every train
+		"-drift-threshold", "-1", // no drift-triggered training either
+		"-seed", "7",
+	)
+	d.cmd.Stdout = &d.out
+	d.cmd.Stderr = &d.out
+	if err := d.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(d.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return d
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	d.cmd.Process.Kill()
+	t.Fatalf("daemon on %s never became healthy; output:\n%s", addr, d.out.String())
+	return nil
+}
+
+// kill9 delivers SIGKILL — no shutdown hook, no final snapshot, no flush.
+func (d *daemon) kill9() {
+	d.t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil {
+		d.t.Fatal(err)
+	}
+	_ = d.cmd.Wait()
+}
+
+func (d *daemon) stop() {
+	_ = d.cmd.Process.Kill()
+	_, _ = d.cmd.Process.Wait()
+}
+
+func (d *daemon) post(path string, body any) (int, []byte) {
+	d.t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	resp, err := http.Post(d.base+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		d.t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, out
+}
+
+func (d *daemon) get(path string) (int, []byte) {
+	d.t.Helper()
+	resp, err := http.Get(d.base + path)
+	if err != nil {
+		d.t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, out
+}
+
+func (d *daemon) createEstimator() {
+	d.t.Helper()
+	var schema json.RawMessage = []byte(e2eSchema)
+	status, body := d.post("/v1/estimators", map[string]any{"name": "people", "schema": schema})
+	if status != http.StatusCreated {
+		d.t.Fatalf("create: status %d: %s", status, body)
+	}
+}
+
+// stream sends the observations in batches; every batch must be fully
+// acknowledged (accepted == len) for the zero-loss assertion to be fair.
+func (d *daemon) stream(obs []map[string]any, batch int) int {
+	d.t.Helper()
+	acked := 0
+	for i := 0; i < len(obs); i += batch {
+		end := i + batch
+		if end > len(obs) {
+			end = len(obs)
+		}
+		status, body := d.post("/v1/people/observe", map[string]any{"observations": obs[i:end]})
+		if status != http.StatusAccepted {
+			d.t.Fatalf("observe: status %d: %s", status, body)
+		}
+		var resp struct {
+			Accepted int `json:"accepted"`
+		}
+		if err := json.Unmarshal(body, &resp); err != nil {
+			d.t.Fatal(err)
+		}
+		if resp.Accepted != end-i {
+			d.t.Fatalf("batch %d..%d only accepted %d", i, end, resp.Accepted)
+		}
+		acked += resp.Accepted
+	}
+	return acked
+}
+
+func (d *daemon) observedTotal() uint64 {
+	d.t.Helper()
+	status, body := d.get("/v1/estimators")
+	if status != http.StatusOK {
+		d.t.Fatalf("list: status %d: %s", status, body)
+	}
+	var resp struct {
+		Estimators []struct {
+			Name     string `json:"name"`
+			Observed uint64 `json:"observed_total"`
+		} `json:"estimators"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		d.t.Fatal(err)
+	}
+	for _, e := range resp.Estimators {
+		if e.Name == "people" {
+			return e.Observed
+		}
+	}
+	d.t.Fatalf("estimator missing after restart: %s", body)
+	return 0
+}
+
+func (d *daemon) train() {
+	d.t.Helper()
+	if status, body := d.post("/v1/people/train", map[string]any{}); status != http.StatusOK {
+		d.t.Fatalf("train: status %d: %s", status, body)
+	}
+}
+
+func (d *daemon) estimate(where string) float64 {
+	d.t.Helper()
+	status, body := d.get("/v1/people/estimate?where=" + url.QueryEscape(where))
+	if status != http.StatusOK {
+		d.t.Fatalf("estimate: status %d: %s", status, body)
+	}
+	var resp struct {
+		Selectivity float64 `json:"selectivity"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		d.t.Fatal(err)
+	}
+	return resp.Selectivity
+}
+
+func TestCrashRecoveryKill9E2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := buildDaemon(t)
+	obs := e2eObservations(60, 42)
+	probes := []string{
+		"age >= 30",
+		"age BETWEEN 25 AND 55 AND salary >= 100000",
+		"salary < 60000",
+		"age >= 70 OR salary >= 250000",
+	}
+
+	// Control: same stream, never killed.
+	controlDir := t.TempDir()
+	control := startDaemon(t, bin, freeAddr(t), controlDir)
+	defer control.stop()
+	control.createEstimator()
+	control.stream(obs, 5)
+	control.train()
+	want := make([]float64, len(probes))
+	for i, p := range probes {
+		want[i] = control.estimate(p)
+	}
+
+	// Victim: killed with SIGKILL right after the last acknowledged batch.
+	dir := t.TempDir()
+	victim := startDaemon(t, bin, freeAddr(t), dir)
+	victim.createEstimator()
+	acked := victim.stream(obs, 5)
+	victim.kill9()
+
+	// Restart on the same directories: the WAL (never snapshotted — the
+	// kill also outran any snapshot) must hold the create and every
+	// acknowledged observation.
+	revived := startDaemon(t, bin, freeAddr(t), dir)
+	defer revived.stop()
+	if got := revived.observedTotal(); got != uint64(acked) {
+		t.Fatalf("observed_total after kill -9 restart = %d, want %d (acknowledged observation lost)", got, acked)
+	}
+	revived.train()
+	for i, p := range probes {
+		if got := revived.estimate(p); got != want[i] {
+			t.Errorf("estimate(%q) = %v, uncrashed control = %v (must be bit-identical)", p, got, want[i])
+		}
+	}
+
+	// The log survives for forensics; the daemon directory must contain it.
+	if ents, err := os.ReadDir(filepath.Join(dir, "wal")); err != nil || len(ents) == 0 {
+		t.Errorf("wal directory missing after recovery: %v", err)
+	}
+}

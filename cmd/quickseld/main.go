@@ -35,6 +35,17 @@
 // shadow-scored against the serving champion on held-out feedback and
 // promoted only if it wins (shadow).
 //
+// With -wal-dir set, the daemon also appends every acknowledged
+// observation (plus estimator creates, drops, and lifecycle events) to a
+// group-committed write-ahead log (internal/wal) before acknowledging it:
+// a crash — even kill -9 — loses nothing a client was told succeeded. On
+// restart the daemon restores the snapshot, replays the log suffix the
+// snapshot does not cover, and resumes in the state an uncrashed run would
+// hold. Snapshots compact the log, deleting segments they make redundant.
+// -wal-fsync picks the durability point (always = survives power loss,
+// interval = survives a killed process, never = OS-paced) and
+// -wal-segment-size the rotation threshold.
+//
 // On SIGINT/SIGTERM the daemon drains in-flight requests, flushes and
 // trains every estimator, and persists a final snapshot; restarting with
 // the same -snapshot path serves identical estimates for every method.
@@ -44,7 +55,9 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
@@ -53,37 +66,99 @@ import (
 
 	"quicksel/internal/lifecycle"
 	"quicksel/internal/server"
+	"quicksel/internal/wal"
 )
 
-func main() {
-	var (
-		addr          = flag.String("addr", ":7075", "listen address")
-		snapshotPath  = flag.String("snapshot", "", "snapshot file for durable model state (empty disables persistence)")
-		trainInterval = flag.Duration("train-interval", server.DefaultTrainInterval, "debounce interval of the background training worker")
-		snapInterval  = flag.Duration("snapshot-interval", 0, "periodic snapshot interval (0 = only on shutdown and POST /v1/snapshot)")
-		bufferSize    = flag.Int("buffer", server.DefaultBufferSize, "per-estimator pending-observation buffer size")
-		seed          = flag.Int64("seed", 0, "default model seed for new estimators")
+// flagValues carries the parsed command line; buildConfig validates it and
+// assembles the server configuration.
+type flagValues struct {
+	snapshotPath   string
+	trainInterval  time.Duration
+	snapInterval   time.Duration
+	bufferSize     int
+	seed           int64
+	retrainPolicy  string
+	driftThreshold float64
+	accuracyWindow int
+	versionHistory int
+	walDir         string
+	walFsync       string
+	walSegmentSize int64
+}
 
-		retrainPolicy  = flag.String("retrain-policy", "", "default promotion policy for trained models: always (default), never, or shadow")
-		driftThreshold = flag.Float64("drift-threshold", 0, "Page-Hinkley drift alarm threshold on realized estimate error (0 = default 0.25, negative disables)")
-		accuracyWindow = flag.Int("accuracy-window", 0, "rolling realized-accuracy window per estimator (0 = default 256 samples)")
-		versionHistory = flag.Int("version-history", 0, "archived model versions kept per estimator for rollback (0 = default 4)")
-	)
+// buildConfig rejects garbage flag values at startup with errors that name
+// the flag, instead of letting a zero or negative knob propagate into the
+// registry as a silently-weird default.
+func buildConfig(v flagValues) (server.Config, error) {
+	if v.bufferSize <= 0 {
+		return server.Config{}, fmt.Errorf("-buffer must be a positive observation count, got %d", v.bufferSize)
+	}
+	if v.trainInterval <= 0 {
+		return server.Config{}, fmt.Errorf("-train-interval must be a positive duration, got %s", v.trainInterval)
+	}
+	if v.snapInterval < 0 {
+		return server.Config{}, fmt.Errorf("-snapshot-interval must not be negative, got %s", v.snapInterval)
+	}
+	if v.accuracyWindow <= 0 {
+		return server.Config{}, fmt.Errorf("-accuracy-window must be a positive sample count, got %d", v.accuracyWindow)
+	}
+	if v.versionHistory <= 0 {
+		return server.Config{}, fmt.Errorf("-version-history must be a positive version count, got %d", v.versionHistory)
+	}
+	if math.IsNaN(v.driftThreshold) {
+		return server.Config{}, fmt.Errorf("-drift-threshold must not be NaN")
+	}
+	if _, err := lifecycle.ParsePolicy(v.retrainPolicy); err != nil {
+		return server.Config{}, fmt.Errorf("-retrain-policy: %w", err)
+	}
+	if _, err := wal.ParsePolicy(v.walFsync); err != nil {
+		return server.Config{}, fmt.Errorf("-wal-fsync: %w", err)
+	}
+	if v.walSegmentSize <= 0 {
+		return server.Config{}, fmt.Errorf("-wal-segment-size must be a positive byte count, got %d", v.walSegmentSize)
+	}
+	return server.Config{
+		SnapshotPath:     v.snapshotPath,
+		TrainInterval:    v.trainInterval,
+		SnapshotInterval: v.snapInterval,
+		BufferSize:       v.bufferSize,
+		Seed:             v.seed,
+		Lifecycle: lifecycle.Config{
+			Policy:         lifecycle.Policy(v.retrainPolicy),
+			DriftThreshold: v.driftThreshold,
+			Window:         v.accuracyWindow,
+			History:        v.versionHistory,
+		},
+		WALDir:         v.walDir,
+		WALSync:        v.walFsync,
+		WALSegmentSize: v.walSegmentSize,
+	}, nil
+}
+
+func main() {
+	var v flagValues
+	addr := flag.String("addr", ":7075", "listen address")
+	flag.StringVar(&v.snapshotPath, "snapshot", "", "snapshot file for durable model state (empty disables persistence)")
+	flag.DurationVar(&v.trainInterval, "train-interval", server.DefaultTrainInterval, "debounce interval of the background training worker")
+	flag.DurationVar(&v.snapInterval, "snapshot-interval", 0, "periodic snapshot interval (0 = only on shutdown and POST /v1/snapshot)")
+	flag.IntVar(&v.bufferSize, "buffer", server.DefaultBufferSize, "per-estimator pending-observation buffer size")
+	flag.Int64Var(&v.seed, "seed", 0, "default model seed for new estimators")
+
+	flag.StringVar(&v.retrainPolicy, "retrain-policy", "", "default promotion policy for trained models: always (default), never, or shadow")
+	flag.Float64Var(&v.driftThreshold, "drift-threshold", 0, "Page-Hinkley drift alarm threshold on realized estimate error (0 = default 0.25, negative disables)")
+	flag.IntVar(&v.accuracyWindow, "accuracy-window", lifecycle.DefaultWindow, "rolling realized-accuracy window per estimator (samples)")
+	flag.IntVar(&v.versionHistory, "version-history", lifecycle.DefaultHistory, "archived model versions kept per estimator for rollback")
+
+	flag.StringVar(&v.walDir, "wal-dir", "", "write-ahead observation log directory (empty disables the log; see ARCHITECTURE.md \"Durability\")")
+	flag.StringVar(&v.walFsync, "wal-fsync", "interval", "WAL fsync policy: always (acked observations survive power loss), interval (survive a killed process; background fsync), or never")
+	flag.Int64Var(&v.walSegmentSize, "wal-segment-size", wal.DefaultSegmentSize, "WAL segment rotation threshold in bytes")
 	flag.Parse()
 
-	srv, err := server.New(server.Config{
-		SnapshotPath:     *snapshotPath,
-		TrainInterval:    *trainInterval,
-		SnapshotInterval: *snapInterval,
-		BufferSize:       *bufferSize,
-		Seed:             *seed,
-		Lifecycle: lifecycle.Config{
-			Policy:         lifecycle.Policy(*retrainPolicy),
-			DriftThreshold: *driftThreshold,
-			Window:         *accuracyWindow,
-			History:        *versionHistory,
-		},
-	})
+	cfg, err := buildConfig(v)
+	if err != nil {
+		log.Fatalf("quickseld: %v", err)
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		log.Fatalf("quickseld: %v", err)
 	}
@@ -108,7 +183,7 @@ func main() {
 		}
 	}()
 
-	log.Printf("quickseld: serving on %s (snapshot=%q)", *addr, *snapshotPath)
+	log.Printf("quickseld: serving on %s (snapshot=%q wal=%q)", *addr, v.snapshotPath, v.walDir)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("quickseld: %v", err)
 	}

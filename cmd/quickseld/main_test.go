@@ -1,0 +1,77 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"quicksel/internal/lifecycle"
+	"quicksel/internal/server"
+	"quicksel/internal/wal"
+)
+
+func goodFlags() flagValues {
+	return flagValues{
+		trainInterval:  server.DefaultTrainInterval,
+		bufferSize:     server.DefaultBufferSize,
+		accuracyWindow: lifecycle.DefaultWindow,
+		versionHistory: lifecycle.DefaultHistory,
+		walFsync:       "interval",
+		walSegmentSize: wal.DefaultSegmentSize,
+	}
+}
+
+func TestBuildConfigDefaultsValid(t *testing.T) {
+	cfg, err := buildConfig(goodFlags())
+	if err != nil {
+		t.Fatalf("default flags rejected: %v", err)
+	}
+	if cfg.BufferSize != server.DefaultBufferSize || cfg.Lifecycle.Window != lifecycle.DefaultWindow {
+		t.Fatalf("config = %+v, lost flag values", cfg)
+	}
+}
+
+func TestBuildConfigRejectsGarbage(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*flagValues)
+		wantSub string // substring the error must carry so the operator knows which flag
+	}{
+		{"zero buffer", func(v *flagValues) { v.bufferSize = 0 }, "-buffer"},
+		{"negative buffer", func(v *flagValues) { v.bufferSize = -5 }, "-buffer"},
+		{"zero train interval", func(v *flagValues) { v.trainInterval = 0 }, "-train-interval"},
+		{"negative train interval", func(v *flagValues) { v.trainInterval = -time.Second }, "-train-interval"},
+		{"negative snapshot interval", func(v *flagValues) { v.snapInterval = -time.Minute }, "-snapshot-interval"},
+		{"zero accuracy window", func(v *flagValues) { v.accuracyWindow = 0 }, "-accuracy-window"},
+		{"negative accuracy window", func(v *flagValues) { v.accuracyWindow = -1 }, "-accuracy-window"},
+		{"zero version history", func(v *flagValues) { v.versionHistory = 0 }, "-version-history"},
+		{"negative version history", func(v *flagValues) { v.versionHistory = -2 }, "-version-history"},
+		{"NaN drift threshold", func(v *flagValues) { v.driftThreshold = math.NaN() }, "-drift-threshold"},
+		{"unknown retrain policy", func(v *flagValues) { v.retrainPolicy = "sometimes" }, "-retrain-policy"},
+		{"unknown wal fsync", func(v *flagValues) { v.walFsync = "später" }, "-wal-fsync"},
+		{"zero wal segment size", func(v *flagValues) { v.walSegmentSize = 0 }, "-wal-segment-size"},
+		{"negative wal segment size", func(v *flagValues) { v.walSegmentSize = -1 }, "-wal-segment-size"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := goodFlags()
+			tc.mutate(&v)
+			_, err := buildConfig(v)
+			if err == nil {
+				t.Fatalf("garbage accepted: %+v", v)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not name the offending flag %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestBuildConfigAllowsDisabledDrift(t *testing.T) {
+	v := goodFlags()
+	v.driftThreshold = -1 // documented: negative disables drift detection
+	if _, err := buildConfig(v); err != nil {
+		t.Fatalf("negative drift threshold rejected: %v", err)
+	}
+}

@@ -69,7 +69,25 @@
 // Estimator.Snapshot and Restore serialize the full model — observations,
 // subpopulations, and trained weights — as JSON; a restored estimator
 // serves identical estimates without retraining. EncodeSnapshot and
-// DecodeSnapshot are stream conveniences over the same format.
+// DecodeSnapshot are stream conveniences over the same format. Snapshots
+// also carry the model's pseudo-random stream position, so a restored
+// estimator does not just estimate identically — it keeps observing and
+// retraining bit-identically to the run it was captured from.
+//
+// # Durability
+//
+// WithWAL(dir) attaches a write-ahead observation log (internal/wal): every
+// Observe is appended — group-committed with concurrent observers — before
+// it returns, under the fsync policy of WithWALFsync (acked observations
+// survive a killed process by default, or power loss with WALFsyncAlways).
+// New with the same WithWAL directory replays the log in full, so an
+// embedding process restarts with every acknowledged observation intact and
+// no snapshot at all. For bounded recovery, Estimator.Checkpoint writes a
+// snapshot (which records the log position) and compacts the segments it
+// makes redundant; Restore with WithWAL replays only the suffix after that
+// position. Close releases the log. The quickseld daemon gets the same
+// machinery registry-wide via -wal-dir / -wal-fsync / -wal-segment-size,
+// where a kill -9 mid-stream loses nothing acknowledged.
 //
 // # Serving
 //

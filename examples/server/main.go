@@ -27,7 +27,10 @@ import (
 
 func main() {
 	// Stand up quickseld in-process. A production deployment runs
-	// `quickseld -addr :7075 -snapshot state.json` instead.
+	// `quickseld -addr :7075 -snapshot state.json -wal-dir wal/` instead:
+	// -snapshot persists full model state across restarts, -wal-dir adds
+	// the write-ahead observation log so even a kill -9 loses nothing
+	// acknowledged (set Config.WALDir here for the same in-process).
 	srv, err := server.New(server.Config{})
 	if err != nil {
 		log.Fatal(err)

@@ -93,6 +93,7 @@ type observation struct {
 type Model struct {
 	cfg  Config
 	rng  *rand.Rand
+	src  *countingSource // the stream behind rng; its count makes snapshots resume the PRNG exactly
 	unit geom.Box
 
 	// defaultPoints are the workload-aware points of the default query
@@ -124,6 +125,27 @@ type Model struct {
 	lastIters int // iterations of the iterative solver (0 for analytic)
 }
 
+// countingSource wraps a rand.Source and counts Int63 draws. The count is
+// the model's exact position in its deterministic pseudo-random stream, so
+// a snapshot can record it and Restore can fast-forward a fresh source to
+// the same position: random draws made after a restore are bit-identical
+// to the draws the original model would have made had it kept running.
+// Wrapping is transparent — the draw values themselves are unchanged.
+type countingSource struct {
+	src rand.Source
+	n   uint64
+}
+
+func (s *countingSource) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.n = 0
+}
+
 // New returns an empty model over [0,1)^Dim.
 func New(cfg Config) (*Model, error) {
 	if cfg.Dim < 1 {
@@ -137,9 +159,11 @@ func New(cfg Config) (*Model, error) {
 		return nil, errors.New("core: negative configuration value")
 	}
 	c := cfg.withDefaults()
+	src := &countingSource{src: rand.NewSource(c.Seed)}
 	m := &Model{
 		cfg:  c,
-		rng:  rand.New(rand.NewSource(c.Seed)),
+		rng:  rand.New(src),
+		src:  src,
 		unit: geom.Unit(c.Dim),
 		qlo:  make([]float64, c.Dim),
 		qhi:  make([]float64, c.Dim),

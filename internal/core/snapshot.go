@@ -12,6 +12,11 @@ import (
 // rejects snapshots with a different version rather than guessing.
 const SnapshotVersion = 1
 
+// maxRngDraws bounds Snapshot.RngDraws at restore time (the fast-forward
+// is linear in it). 2^33 draws replay in tens of seconds worst case; real
+// models stay orders of magnitude below.
+const maxRngDraws = 1 << 33
+
 // SnapshotBox is the serialized form of a geom.Box.
 type SnapshotBox struct {
 	Lo []float64 `json:"lo"`
@@ -89,15 +94,15 @@ func (s SnapshotConfig) config() Config {
 }
 
 // Snapshot is the complete serializable state of a Model: configuration,
-// every observation (with its workload-aware points), and the trained
-// subpopulations and weights. A restored model produces bit-identical
-// estimates without retraining.
-//
-// The one piece of state a snapshot does not carry is the PRNG stream
-// position: a restored model reseeds from Config.Seed, so random draws made
-// after Restore differ from the draws the original model would have made
-// had it kept running. Estimates and retraining over the restored
-// observations are unaffected (the points that feed training are persisted).
+// every observation (with its workload-aware points), the trained
+// subpopulations and weights, and the PRNG stream position. A restored
+// model produces bit-identical estimates without retraining, and — because
+// RngDraws fast-forwards the deterministic stream to where the original
+// left off — continues observing and retraining bit-identically too, which
+// is what lets the write-ahead log replay a snapshot-plus-suffix into the
+// exact state of an uncrashed run. Snapshots from builds that predate
+// RngDraws restore with the stream reset to the seed (their historical
+// behaviour).
 type Snapshot struct {
 	Version       int                   `json:"version"`
 	Config        SnapshotConfig        `json:"config"`
@@ -106,6 +111,7 @@ type Snapshot struct {
 	Subpops       []SnapshotBox         `json:"subpops,omitempty"`
 	Weights       []float64             `json:"weights,omitempty"`
 	Trained       bool                  `json:"trained"`
+	RngDraws      uint64                `json:"rng_draws,omitempty"`
 }
 
 func copyPoints(pts [][]float64) [][]float64 {
@@ -130,6 +136,7 @@ func (m *Model) Snapshot() *Snapshot {
 		Config:        configToSnapshot(m.cfg),
 		DefaultPoints: copyPoints(m.defaultPoints),
 		Trained:       m.trained,
+		RngDraws:      m.src.n,
 	}
 	s.Observations = make([]SnapshotObservation, len(m.observations))
 	for i, o := range m.observations {
@@ -154,7 +161,8 @@ func (m *Model) Snapshot() *Snapshot {
 
 // Restore rebuilds a Model from a snapshot, validating the format version,
 // dimensions, and internal consistency. The restored model estimates
-// identically to the snapshotted one; see Snapshot for the PRNG caveat.
+// identically to the snapshotted one and — with the stream fast-forwarded
+// to Snapshot.RngDraws — keeps observing and training bit-identically.
 func Restore(s *Snapshot) (*Model, error) {
 	if s == nil {
 		return nil, fmt.Errorf("core: nil snapshot")
@@ -177,9 +185,23 @@ func Restore(s *Snapshot) (*Model, error) {
 		return nil, fmt.Errorf("core: snapshot has %d weights for %d subpopulations",
 			len(s.Weights), len(s.Subpops))
 	}
+	// Fast-forwarding is linear in RngDraws, so bound it: a legitimate
+	// model draws ~PointsPerPredicate×Dim per observation plus one shuffle
+	// per training run — even years of heavy traffic stay far below this —
+	// while a corrupt or hostile value (the field is the one uint64 no
+	// other validation constrains) must not hang Restore.
+	if s.RngDraws > maxRngDraws {
+		return nil, fmt.Errorf("core: snapshot rng_draws %d exceeds the %d bound (corrupt snapshot?)", s.RngDraws, uint64(maxRngDraws))
+	}
+	src := &countingSource{src: rand.NewSource(cfg.Seed)}
+	for i := uint64(0); i < s.RngDraws; i++ {
+		src.src.Int63() // fast-forward without inflating the count
+	}
+	src.n = s.RngDraws
 	m := &Model{
 		cfg:  cfg.withDefaults(),
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		rng:  rand.New(src),
+		src:  src,
 		unit: geom.Unit(cfg.Dim),
 		qlo:  make([]float64, cfg.Dim),
 		qhi:  make([]float64, cfg.Dim),

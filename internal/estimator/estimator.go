@@ -103,6 +103,20 @@ type Config struct {
 	// threshold, accuracy window, version history). Backends ignore it; the
 	// public Estimator and the serving registry consume it.
 	Lifecycle lifecycle.Config
+
+	// WAL carries the write-ahead-log knobs (directory, fsync policy,
+	// segment size). Backends ignore it; the public Estimator consumes it
+	// to append observations durably and replay them on restart.
+	WAL WALConfig
+}
+
+// WALConfig is the write-ahead-log tuning carried by Config. A zero Dir
+// disables the log; the other fields keep the wal package defaults when
+// zero.
+type WALConfig struct {
+	Dir         string
+	Sync        string
+	SegmentSize int64
 }
 
 // Stats is the common status snapshot every backend reports.

@@ -254,13 +254,36 @@ func (h *Histogram) Train() error {
 		return nil
 	}
 	members, sels := h.membership()
-	vols := make([]float64, len(h.buckets))
+	// Zero-volume buckets (slivers from queries sharing a boundary, common
+	// on discretized integer columns) are excluded from the solve and pinned
+	// to weight 0: Estimate skips them — a bucket with no volume has no
+	// density — so mass assigned to them would silently vanish, and their
+	// floored volumes make the scaling products overflow to Inf and then
+	// NaN, poisoning every weight.
+	idx := make([]int, len(h.buckets)) // bucket -> compact solve index, -1 when degenerate
+	var vols []float64
 	for j, b := range h.buckets {
-		vols[j] = b.Volume()
-		if vols[j] <= 0 {
-			vols[j] = 1e-300
+		if v := b.Volume(); v > 0 {
+			idx[j] = len(vols)
+			vols = append(vols, v)
+		} else {
+			idx[j] = -1
 		}
 	}
+	if len(vols) < len(h.buckets) {
+		compact := make([][]int, len(members))
+		for i, mem := range members {
+			kept := make([]int, 0, len(mem))
+			for _, j := range mem {
+				if idx[j] >= 0 {
+					kept = append(kept, idx[j])
+				}
+			}
+			compact[i] = kept
+		}
+		members = compact
+	}
+	var solved []float64
 	switch h.cfg.Solver {
 	case IterativeScaling:
 		res, err := maxent.Solve(
@@ -270,11 +293,21 @@ func (h *Histogram) Train() error {
 		if err != nil {
 			return fmt.Errorf("isomer: %w", err)
 		}
-		h.weights = res.Weights
+		solved = res.Weights
 	case QuickSelQP:
-		h.weights = solveDiagonalQP(vols, members, sels, h.cfg.Lambda)
+		solved = solveDiagonalQP(vols, members, sels, h.cfg.Lambda)
 	default:
 		return fmt.Errorf("isomer: unknown solver %v", h.cfg.Solver)
+	}
+	if len(vols) == len(h.buckets) {
+		h.weights = solved
+	} else {
+		h.weights = make([]float64, len(h.buckets))
+		for j, c := range idx {
+			if c >= 0 {
+				h.weights[j] = solved[c]
+			}
+		}
 	}
 	h.trained = true
 	return nil

@@ -121,7 +121,16 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 		}
 	}
 
-	const zFloor = 1e-300 // keeps zero-selectivity constraints representable
+	// zFloor keeps zero-selectivity constraints representable; zCeil stops a
+	// diverging solve (inconsistent feedback makes the fixed point
+	// infeasible) from pushing iterates to +Inf, whose products then mix
+	// with underflow and turn every weight into NaN. The clamps only engage
+	// on non-finite or astronomically large values, so a converging problem
+	// computes bit-identical results with or without them.
+	const (
+		zFloor = 1e-300
+		zCeil  = 1e300
+	)
 	res := &Result{}
 	for iter := 0; iter < opts.MaxIters; iter++ {
 		for i := 0; i < n; i++ {
@@ -154,14 +163,20 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 				}
 				zNew = p.Sels[i] / denom
 			}
+			if math.IsNaN(zNew) {
+				zNew = z[i] // poisoned update: keep the previous iterate
+			}
 			if zNew < zFloor {
 				zNew = zFloor
+			}
+			if zNew > zCeil {
+				zNew = zCeil
 			}
 			if opts.Incremental {
 				ratio := zNew / z[i]
 				if ratio != 1 {
 					for _, j := range p.Members[i] {
-						w[j] *= ratio
+						w[j] = clampWeight(w[j] * ratio)
 					}
 				}
 			}
@@ -174,7 +189,7 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 				for _, k := range incident[j] {
 					term *= z[k]
 				}
-				w[j] = term
+				w[j] = clampWeight(term)
 			}
 		}
 		res.Iters = iter + 1
@@ -186,6 +201,23 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 	}
 	res.Weights = w
 	return res, nil
+}
+
+// clampWeight pins a non-finite weight iterate back into the finite range:
+// a diverged solve must still yield weights that serve (clamped to [0,1] at
+// estimate time) and serialize (JSON has no Inf or NaN). Finite weights
+// pass through untouched.
+func clampWeight(w float64) float64 {
+	switch {
+	case math.IsNaN(w):
+		return 0
+	case math.IsInf(w, 1):
+		return math.MaxFloat64
+	case math.IsInf(w, -1):
+		return -math.MaxFloat64
+	default:
+		return w
+	}
 }
 
 // maxViolation returns the largest absolute constraint violation.

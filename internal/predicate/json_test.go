@@ -1,0 +1,83 @@
+package predicate
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func twoColSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		Column{Name: "a", Kind: Real, Min: 0, Max: 10},
+		Column{Name: "b", Kind: Integer, Min: 0, Max: 99},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestPredicateJSONRoundTrip checks that every node kind survives a
+// marshal/unmarshal cycle with bit-identical lowered boxes — the property
+// the write-ahead log's replay path depends on.
+func TestPredicateJSONRoundTrip(t *testing.T) {
+	s := twoColSchema(t)
+	preds := []*Predicate{
+		All(),
+		Range(0, 1.25, 7.5),
+		AtLeast(0, 3.3), // +Inf bound, elided in JSON
+		AtMost(1, 42),   // -Inf bound, elided in JSON
+		Eq(1, 7),
+		In(1, 3, 5, 9),
+		And(Range(0, 1, 2), Eq(1, 4)),
+		Or(Range(0, 0.1, 0.2), Range(0, 0.5, 0.9)),
+		Not(Range(0, 2, 8)),
+		And(Not(Eq(1, 2)), Or(Range(0, 0, 5), AtLeast(0, 9.9))),
+		Range(0, 0.1+0.2, 3.0000000001), // non-representable decimals must round-trip exactly
+	}
+	for i, p := range preds {
+		data, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("pred %d marshal: %v", i, err)
+		}
+		var back Predicate
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("pred %d unmarshal %s: %v", i, data, err)
+		}
+		want, err := p.Boxes(s)
+		if err != nil {
+			t.Fatalf("pred %d boxes: %v", i, err)
+		}
+		got, err := back.Boxes(s)
+		if err != nil {
+			t.Fatalf("pred %d decoded boxes: %v", i, err)
+		}
+		if len(want) != len(got) {
+			t.Fatalf("pred %d: %d boxes decoded, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			for k := 0; k < want[j].Dim(); k++ {
+				if want[j].Lo[k] != got[j].Lo[k] || want[j].Hi[k] != got[j].Hi[k] {
+					t.Fatalf("pred %d box %d dim %d: [%v,%v) != [%v,%v)", i, j, k,
+						got[j].Lo[k], got[j].Hi[k], want[j].Lo[k], want[j].Hi[k])
+				}
+			}
+		}
+	}
+}
+
+func TestPredicateJSONRejectsMalformed(t *testing.T) {
+	bad := []string{
+		`{}`,                          // no kind
+		`{"all": true, "col": 0}`,     // two kinds
+		`{"all": false}`,              // all must be true
+		`{"and": [{"col": 0}, null]}`, // null child
+		`{"or": "nope"}`,              // wrong type
+	}
+	for _, in := range bad {
+		var p Predicate
+		if err := json.Unmarshal([]byte(in), &p); err == nil {
+			t.Errorf("accepted malformed predicate %s", in)
+		}
+	}
+}

@@ -33,6 +33,38 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("quickseld_snapshots_saved_total", "Registry snapshots persisted.", s.reg.snapshotsSaved.Load())
 	counter("quickseld_snapshot_errors_total", "Registry snapshot writes that failed.", s.reg.snapshotErrs.Load())
 
+	gauge := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	// Write-ahead log series: append/fsync/replay/compaction counters and
+	// the log-lag gauges that tell an operator how much history a crash
+	// (sync lag) or the next recovery (snapshot lag) would have to chew on.
+	if s.reg.wal != nil {
+		ws := s.reg.wal.Stats()
+		counter("quickseld_wal_appends_total", "Records appended to the write-ahead log.", ws.Appended)
+		counter("quickseld_wal_flushes_total", "Group-commit write batches (appends/flushes is the commit fan-in).", ws.Flushes)
+		counter("quickseld_wal_fsyncs_total", "fsync calls on log segments.", ws.Fsyncs)
+		counter("quickseld_wal_rotations_total", "Log segment rotations.", ws.Rotations)
+		counter("quickseld_wal_compacted_segments_total", "Log segments deleted by snapshot-driven compaction.", ws.CompactedSegments)
+		counter("quickseld_wal_append_errors_total", "Appends that failed the durability wait.", s.reg.walAppendErrs.Load())
+		counter("quickseld_wal_replayed_records_total", "Records replayed into the registry at startup.", s.reg.walReplayed.Load())
+		counter("quickseld_wal_replay_skipped_total", "Undecodable records skipped during replay.", s.reg.walReplaySkipped.Load())
+		counter("quickseld_wal_truncated_bytes_total", "Torn-tail bytes truncated at open.", ws.TruncatedBytes)
+		gauge("quickseld_wal_segments", "Retained log segment files.", uint64(ws.Segments))
+		gauge("quickseld_wal_size_bytes", "Retained log bytes on disk.", uint64(ws.SizeBytes))
+		gauge("quickseld_wal_last_seq", "Highest assigned log sequence number.", ws.LastSeq)
+		gauge("quickseld_wal_durable_seq", "Highest acknowledged-durable sequence number.", ws.DurableSeq)
+		gauge("quickseld_wal_sync_lag", "Acknowledged records not yet fsynced (lost only with the machine, not the process).", ws.LastSeq-ws.SyncedSeq)
+		covered := s.reg.walLastCovered.Load()
+		lag := ws.LastSeq
+		if covered < lag {
+			lag -= covered
+		} else {
+			lag = 0
+		}
+		gauge("quickseld_wal_snapshot_lag", "Records the last snapshot does not cover (the replay cost of a crash right now).", lag)
+	}
+
 	infos := s.reg.List()
 	fmt.Fprintf(&b, "# HELP quickseld_estimators Registered estimators.\n# TYPE quickseld_estimators gauge\nquickseld_estimators %d\n", len(infos))
 

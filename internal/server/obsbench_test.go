@@ -1,0 +1,64 @@
+// Observe-path microbenchmarks: the ingest pipeline (tracking, buffering,
+// and — when enabled — the group-committed write-ahead log append) through
+// Registry.ObserveParsed, one 512-record batch per op. The WAL variants
+// exist to keep the log's hot-path cost visible next to the no-WAL
+// baseline; quickselbench perf publishes the same comparison to
+// BENCH_quicksel.json.
+package server
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"quicksel"
+)
+
+func benchStream(n int) ([]ParsedObservation, *quicksel.Schema) {
+	schema, _ := quicksel.NewSchema(
+		quicksel.Column{Name: "x", Kind: quicksel.Real, Min: 0, Max: 1},
+		quicksel.Column{Name: "y", Kind: quicksel.Real, Min: 0, Max: 1},
+	)
+	rng := rand.New(rand.NewSource(7))
+	recs := make([]ParsedObservation, n)
+	for i := range recs {
+		lo := rng.Float64() * 0.7
+		w := 0.05 + rng.Float64()*0.25
+		hi := rng.Float64()
+		recs[i] = ParsedObservation{Pred: quicksel.And(quicksel.Range(0, lo, lo+w), quicksel.AtMost(1, hi)), Sel: w * hi}
+	}
+	return recs, schema
+}
+
+func benchObserve(b *testing.B, fsync string) {
+	recs, schema := benchStream(512)
+	cfg := Config{TrainInterval: time.Hour, BufferSize: 1 << 30}
+	if fsync != "" {
+		dir, _ := os.MkdirTemp("", "obsbench-*")
+		defer os.RemoveAll(dir)
+		cfg.WALDir = dir
+		cfg.WALSync = fsync
+	}
+	reg, err := NewRegistry(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer reg.closeAbrupt()
+	if err := reg.Create("bench", schema, quicksel.WithMethod(quicksel.MethodSTHoles), quicksel.WithDriftThreshold(-1)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := reg.ObserveParsed("bench", recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(512)
+}
+
+func BenchmarkObserveWalOff(b *testing.B)      { benchObserve(b, "") }
+func BenchmarkObserveWalInterval(b *testing.B) { benchObserve(b, "interval") }
+
+func BenchmarkObserveWalNever(b *testing.B) { benchObserve(b, "never") }

@@ -24,6 +24,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"math"
 	"os"
 	"path/filepath"
@@ -35,6 +36,7 @@ import (
 
 	"quicksel"
 	"quicksel/internal/lifecycle"
+	"quicksel/internal/wal"
 )
 
 // Defaults for Config fields left zero.
@@ -68,6 +70,22 @@ type Config struct {
 	// take the lifecycle package defaults; the zero value keeps the
 	// pre-lifecycle behaviour (always-promote) with tracking on.
 	Lifecycle lifecycle.Config
+
+	// WALDir enables the write-ahead observation log in this directory:
+	// every acknowledged observation (plus creates, drops, and lifecycle
+	// events) is appended before it is acknowledged, and NewRegistry
+	// replays the log suffix the snapshot does not cover. Empty disables
+	// the log (the pre-WAL behaviour: only snapshots survive a crash).
+	WALDir string
+	// WALSync is the log's fsync policy: "always", "interval" (default), or
+	// "never"; see the wal package for the durability trade-offs.
+	WALSync string
+	// WALSegmentSize is the log's segment rotation threshold in bytes
+	// (0 = the wal package default, 64 MiB).
+	WALSegmentSize int64
+	// WALSyncInterval is the background fsync cadence under the "interval"
+	// policy (0 = the wal package default, 100ms).
+	WALSyncInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -81,9 +99,12 @@ func (c Config) withDefaults() Config {
 }
 
 // pendingObs is one ingested observation awaiting the background trainer.
+// seq is its write-ahead-log sequence number (0 when the log is disabled);
+// the buffer is FIFO, so per-estimator seqs are strictly increasing.
 type pendingObs struct {
 	pred *quicksel.Predicate
 	sel  float64
+	seq  uint64
 }
 
 // nan marks estimates that failed; the tracker skips them.
@@ -107,6 +128,14 @@ type estimatorState struct {
 	tracker  *lifecycle.Tracker
 	store    *lifecycle.Store
 	lastGate *lifecycle.ShadowResult // most recent shadow verdict (nil before one)
+
+	// WAL watermarks, guarded by mu (zero when the log is disabled): walSeq
+	// is the highest log sequence number ingested for this estimator,
+	// walConsumed the highest a completed training run has taken out of the
+	// pending buffer. See internal/server/wal.go for the recovery protocol
+	// they drive.
+	walSeq      uint64
+	walConsumed uint64
 
 	// Stats, guarded by mu.
 	observedTotal uint64        // observations accepted since creation
@@ -139,15 +168,28 @@ type Registry struct {
 	wg        sync.WaitGroup
 	stopO     sync.Once
 
+	// wal is the write-ahead observation log (nil when disabled).
+	wal *wal.Log
+
 	// Registry-wide counters (atomics; hot paths don't take mu).
-	snapshotsSaved atomic.Uint64
-	snapshotErrs   atomic.Uint64
+	snapshotsSaved   atomic.Uint64
+	snapshotErrs     atomic.Uint64
+	walAppendErrs    atomic.Uint64
+	walReplayed      atomic.Uint64
+	walReplaySkipped atomic.Uint64
+	walLastCovered   atomic.Uint64 // covered seq of the last persisted snapshot
 }
 
 // NewRegistry builds a registry, reloads state from cfg.SnapshotPath if the
-// file exists, and starts the background training worker.
+// file exists, replays the write-ahead log suffix the snapshot does not
+// cover (when Config.WALDir is set), and starts the background training
+// worker. A corrupt snapshot file is set aside and logged, not fatal: the
+// registry recovers whatever the log still holds and keeps serving.
 func NewRegistry(cfg Config) (*Registry, error) {
 	if _, err := lifecycle.ParsePolicy(string(cfg.Lifecycle.Policy)); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	if _, err := wal.ParsePolicy(cfg.WALSync); err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
 	reg := &Registry{
@@ -159,6 +201,21 @@ func NewRegistry(cfg Config) (*Registry, error) {
 	}
 	if reg.cfg.SnapshotPath != "" {
 		if err := reg.loadSnapshotFile(reg.cfg.SnapshotPath); err != nil {
+			return nil, err
+		}
+	}
+	if reg.cfg.WALDir != "" {
+		wlog, err := wal.Open(reg.cfg.WALDir, wal.Options{
+			SegmentSize:  reg.cfg.WALSegmentSize,
+			Sync:         wal.Policy(reg.cfg.WALSync),
+			SyncInterval: reg.cfg.WALSyncInterval,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		reg.wal = wlog
+		if err := reg.replayWAL(); err != nil {
+			wlog.Close()
 			return nil, err
 		}
 	}
@@ -176,10 +233,16 @@ func (r *Registry) Close() error {
 	for _, st := range r.states() {
 		r.flushAndTrain(st)
 	}
-	if r.cfg.SnapshotPath == "" {
-		return nil
+	var err error
+	if r.cfg.SnapshotPath != "" {
+		err = r.SaveSnapshot()
 	}
-	return r.SaveSnapshot()
+	if r.wal != nil {
+		if werr := r.wal.Close(); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return err
 }
 
 var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_.-]{0,127}$`)
@@ -188,6 +251,10 @@ var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_.-]{0,127}$`)
 // URL-safe ([A-Za-z0-9_.-], starting alphanumeric); duplicates are errors.
 // Options select the estimation method (quicksel.WithMethod) and tune it;
 // an unknown method name fails with an error listing the valid ones.
+//
+// With the WAL enabled, the create is logged (carrying the initial model
+// state, so recovery rebuilds estimators created after the last snapshot)
+// and only acknowledged once the record is durable.
 func (r *Registry) Create(name string, schema *quicksel.Schema, opts ...quicksel.Option) error {
 	if !nameRE.MatchString(name) {
 		return fmt.Errorf("server: invalid estimator name %q", name)
@@ -197,27 +264,54 @@ func (r *Registry) Create(name string, schema *quicksel.Schema, opts ...quicksel
 	if err != nil {
 		return err
 	}
-	st, err := r.newState(name, est, lifecycle.OriginInitial)
+	st, payload, err := r.newState(name, est, lifecycle.OriginInitial)
 	if err != nil {
 		return err
 	}
+	var wait func() error
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, ok := r.estimators[name]; ok {
+		r.mu.Unlock()
 		return &ConflictError{Name: name}
 	}
+	if r.wal != nil {
+		// Enqueue under r.mu: the seq is assigned in the same critical
+		// section that publishes the estimator, so a concurrent snapshot
+		// capture can never observe a log tail that includes this create
+		// without the estimator being in the map.
+		rec, merr := json.Marshal(walCreate{Name: name, Snapshot: payload})
+		if merr != nil {
+			r.mu.Unlock()
+			return fmt.Errorf("server: encode create record: %w", merr)
+		}
+		var seq uint64
+		_, seq, wait = r.wal.Enqueue([]wal.Record{{Type: walRecCreate, Payload: rec}})
+		st.walSeq, st.walConsumed = seq, seq
+	}
 	r.estimators[name] = st
+	r.mu.Unlock()
+	if wait != nil {
+		if werr := wait(); werr != nil {
+			// Durability failed: unpublish so a retry is clean.
+			r.mu.Lock()
+			delete(r.estimators, name)
+			r.mu.Unlock()
+			r.walAppendErrs.Add(1)
+			return fmt.Errorf("server: wal append: %w", werr)
+		}
+	}
 	return nil
 }
 
 // newState builds the per-estimator shard: the lifecycle configuration
 // layers the estimator's own options over the daemon defaults, and the
-// initial model becomes version 1 of the estimator's version store.
-func (r *Registry) newState(name string, est *quicksel.Estimator, origin string) (*estimatorState, error) {
+// initial model becomes version 1 of the estimator's version store. The
+// returned payload is the initial model snapshot backing that version.
+func (r *Registry) newState(name string, est *quicksel.Estimator, origin string) (*estimatorState, json.RawMessage, error) {
 	life := r.cfg.Lifecycle.Merge(est.LifecycleConfig()).WithDefaults()
 	payload, err := json.Marshal(est.Snapshot())
 	if err != nil {
-		return nil, fmt.Errorf("server: snapshot estimator %q: %w", name, err)
+		return nil, nil, fmt.Errorf("server: snapshot estimator %q: %w", name, err)
 	}
 	st := &estimatorState{
 		name:    name,
@@ -227,17 +321,39 @@ func (r *Registry) newState(name string, est *quicksel.Estimator, origin string)
 		store:   lifecycle.NewStore(life.History),
 	}
 	st.store.Init(origin, payload)
-	return st, nil
+	return st, payload, nil
 }
 
-// Drop removes a named estimator and its state.
+// Drop removes a named estimator and its state. With the WAL enabled the
+// drop is acknowledged only once its record is durable; if the durability
+// wait fails, the estimator is re-published so live state matches what a
+// recovery would rebuild and a retry behaves cleanly.
 func (r *Registry) Drop(name string) error {
+	var wait func() error
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.estimators[name]; !ok {
+	st, ok := r.estimators[name]
+	if !ok {
+		r.mu.Unlock()
 		return &NotFoundError{Name: name}
 	}
+	if r.wal != nil {
+		if rec, err := json.Marshal(walNamed{Name: name}); err == nil {
+			_, _, wait = r.wal.Enqueue([]wal.Record{{Type: walRecDrop, Payload: rec}})
+		}
+	}
 	delete(r.estimators, name)
+	r.mu.Unlock()
+	if wait != nil {
+		if werr := wait(); werr != nil {
+			r.mu.Lock()
+			if _, exists := r.estimators[name]; !exists {
+				r.estimators[name] = st
+			}
+			r.mu.Unlock()
+			r.walAppendErrs.Add(1)
+			return fmt.Errorf("server: wal append: %w", werr)
+		}
+	}
 	return nil
 }
 
@@ -331,6 +447,15 @@ type ParsedObservation struct {
 // drift detector, and queues the batch for background training. A drift
 // alarm kicks the trainer immediately instead of waiting out the debounce.
 //
+// With the WAL enabled, every accepted record is staged on the log inside
+// the same critical section that appends it to the pending buffer (so log
+// order equals buffer order), and ObserveParsed returns only once the
+// group-commit writer reports the batch durable: an acknowledged
+// observation survives a crash. Records a full buffer drops are never
+// logged — the drop is reported to the client. If the durability wait
+// fails, the accepted records stay buffered but an error is returned, so a
+// retrying client gets at-least-once rather than silent loss.
+//
 // The returned estimates slice holds the serving model's answer for every
 // record (NaN where estimation failed), in input order — the realized
 // accuracy a benchmark or caller can score without a second round trip.
@@ -353,6 +478,16 @@ func (r *Registry) ObserveParsed(name string, recs []ParsedObservation) (estimat
 		}
 		estimates[i] = sel
 	}
+	// Frame the log payloads outside the lock too: encoding under the lock
+	// would serialize the group commit this path exists to feed. The
+	// payloads share one pooled backing arena (sub-sliced per record) so a
+	// steady-state batch allocates nothing; the arena is safe to recycle as
+	// soon as Enqueue has copied the frames into the log's staging buffer.
+	var scratch *observeScratch
+	if r.wal != nil {
+		scratch = observeScratchPool.Get().(*observeScratch)
+		scratch.encode(name, recs)
+	}
 	st.mu.Lock()
 	drifted := false
 	for i, rec := range recs {
@@ -369,17 +504,38 @@ func (r *Registry) ObserveParsed(name string, recs []ParsedObservation) (estimat
 	if room > len(recs) {
 		room = len(recs)
 	}
-	for _, rec := range recs[:room] {
-		st.pending = append(st.pending, pendingObs{pred: rec.Pred, sel: rec.Sel})
+	var wait func() error
+	if r.wal != nil && room > 0 {
+		first, last, w := r.wal.Enqueue(scratch.wrecs[:room])
+		wait = w
+		for i, rec := range recs[:room] {
+			st.pending = append(st.pending, pendingObs{pred: rec.Pred, sel: rec.Sel, seq: first + uint64(i)})
+		}
+		st.walSeq = last
+	} else {
+		for _, rec := range recs[:room] {
+			st.pending = append(st.pending, pendingObs{pred: rec.Pred, sel: rec.Sel})
+		}
 	}
 	st.observedTotal += uint64(room)
 	st.droppedTotal += uint64(len(recs) - room)
 	backlog = len(st.pending)
 	st.mu.Unlock()
+	if scratch != nil {
+		// Enqueue copied the frames; the arena is free for the next batch.
+		observeScratchPool.Put(scratch)
+	}
+	if wait != nil {
+		if werr := wait(); werr != nil {
+			r.walAppendErrs.Add(1)
+			return estimates, backlog, room, fmt.Errorf("server: wal append: %w", werr)
+		}
+	}
 	if drifted {
 		// A drift alarm means the serving model is measurably stale: wake
 		// the trainer for an immediate pass instead of waiting out the
-		// debounce interval.
+		// debounce interval. The alarm is also logged for the audit trail.
+		r.appendWALEvent(walRecDrift, walNamed{Name: name})
 		select {
 		case r.driftWake <- struct{}{}:
 		default:
@@ -651,7 +807,7 @@ func (r *Registry) flushAndTrain(st *estimatorState) error {
 		origin = lifecycle.OriginRejected
 	}
 	st.mu.Lock()
-	st.store.Add(origin, payload, st.observedTotal, st.tracker.Report().Metrics, gate, promote)
+	v := st.store.Add(origin, payload, st.observedTotal, st.tracker.Report().Metrics, gate, promote)
 	if promote {
 		st.serving = clone
 		st.promotions++
@@ -660,12 +816,25 @@ func (r *Registry) flushAndTrain(st *estimatorState) error {
 	} else {
 		st.rejections++
 	}
+	// The batch is consumed — absorbed into the new version (or deliberately
+	// discarded with a rejected challenger) — so its log records are covered
+	// by the next snapshot and need not replay. The consume watermark moves
+	// in the same critical section as the swap, so a snapshot can never
+	// capture a model without the watermark that matches it.
+	if n := len(batch); n > 0 && batch[n-1].seq > st.walConsumed {
+		st.walConsumed = batch[n-1].seq
+	}
 	st.lastGate = gate
 	st.trainedTotal++
 	st.lastTrainErr = ""
 	st.lastTrainDur = dur
 	st.lastTrainAt = time.Now()
 	st.mu.Unlock()
+	typ := walRecPromotion
+	if !promote {
+		typ = walRecRejection
+	}
+	r.appendWALEvent(typ, walVersionEvent{Name: st.name, Version: v.ID})
 	return nil
 }
 
@@ -723,6 +892,7 @@ func (r *Registry) Rollback(name string, versionID int) (lifecycle.Version, erro
 	st.rollbacks++
 	st.tracker.ResetDrift()
 	st.mu.Unlock()
+	r.appendWALEvent(walRecRollback, walVersionEvent{Name: name, Version: v.ID})
 	return v.Meta(), nil
 }
 
@@ -873,11 +1043,13 @@ func (r *Registry) List() []EstimatorInfo {
 
 // snapshotFile is the JSON shape of the persisted registry. Each estimator
 // entry is a self-describing quicksel.Snapshot envelope carrying its method,
-// so restoring never needs out-of-band backend knowledge. File version 3
-// adds the per-estimator lifecycle section (policy, accuracy tracker,
-// version history); version 2 corresponds to the method-aware envelopes;
-// version-1 files (which could only hold quicksel-method estimators) still
-// load. Older files load with fresh lifecycle state.
+// so restoring never needs out-of-band backend knowledge. File version 4
+// adds the write-ahead-log watermarks (per-estimator in the lifecycle
+// entries, registry-wide in Wal); version 3 added the per-estimator
+// lifecycle section (policy, accuracy tracker, version history); version 2
+// corresponds to the method-aware envelopes; version-1 files (which could
+// only hold quicksel-method estimators) still load. Older files load with
+// fresh lifecycle state and zero watermarks (replay everything retained).
 type snapshotFile struct {
 	Version    int                           `json:"version"`
 	Estimators map[string]*quicksel.Snapshot `json:"estimators"`
@@ -885,6 +1057,17 @@ type snapshotFile struct {
 	// The serving model's version payload is elided — it is the estimator's
 	// envelope above — and reattached on load.
 	Lifecycles map[string]*lifecycleEntry `json:"lifecycles,omitempty"`
+	// Wal is the registry-wide log position (absent before v4 and when the
+	// log is disabled).
+	Wal *walFileInfo `json:"wal,omitempty"`
+}
+
+// walFileInfo records the snapshot's position in the write-ahead log.
+type walFileInfo struct {
+	// Covered is the highest log sequence number with every record at or
+	// below it reflected in this snapshot; the log is compacted up to it
+	// after the snapshot lands.
+	Covered uint64 `json:"covered"`
 }
 
 // lifecycleEntry is the persisted lifecycle state of one estimator.
@@ -899,10 +1082,14 @@ type lifecycleEntry struct {
 	Promotions uint64 `json:"promotions_total"`
 	Rejections uint64 `json:"rejections_total"`
 	Rollbacks  uint64 `json:"rollbacks_total"`
+
+	// WAL watermarks (v4; see internal/server/wal.go for the protocol).
+	WalSeq      uint64 `json:"wal_seq,omitempty"`
+	WalConsumed uint64 `json:"wal_consumed,omitempty"`
 }
 
 // snapshotFileVersion is the registry snapshot format this build writes.
-const snapshotFileVersion = 3
+const snapshotFileVersion = 4
 
 // SaveSnapshot flushes every estimator's pending observations, trains, and
 // atomically writes the full registry state to the configured snapshot
@@ -924,7 +1111,21 @@ func (r *Registry) SaveSnapshot() error {
 		Estimators: map[string]*quicksel.Snapshot{},
 		Lifecycles: map[string]*lifecycleEntry{},
 	}
+	// covered is the highest log seq this snapshot fully reflects: capped
+	// by the first still-pending (buffered, untrained) observation of any
+	// estimator, and by the log tail. The tail MUST be read before the
+	// estimator captures below: an observation acknowledged concurrently
+	// with the capture loop gets a seq past this tail and so stays
+	// uncovered (and uncompacted), while anything at or below the tail was
+	// enqueued under st.mu before our capture acquires it — visible either
+	// in pending (capping covered) or absorbed in the captured model.
+	// Creates and drops enqueue and publish under the exclusive r.mu, so
+	// the RLock below keeps them consistent with this tail too.
+	covered := uint64(math.MaxUint64)
 	r.mu.RLock()
+	if r.wal != nil {
+		covered = r.wal.LastSeq()
+	}
 	for name, st := range r.estimators {
 		// Capture the serving model and its lifecycle state in one critical
 		// section of the same lock the trainer's swap takes: a train run (or
@@ -934,15 +1135,20 @@ func (r *Registry) SaveSnapshot() error {
 		est := st.serving
 		snap := est.Snapshot()
 		entry := &lifecycleEntry{
-			Config:     st.life,
-			Tracker:    st.tracker.State(),
-			Versions:   st.store.State(true),
-			LastGate:   st.lastGate,
-			Observed:   st.observedTotal,
-			Trained:    st.trainedTotal,
-			Promotions: st.promotions,
-			Rejections: st.rejections,
-			Rollbacks:  st.rollbacks,
+			Config:      st.life,
+			Tracker:     st.tracker.State(),
+			Versions:    st.store.State(true),
+			LastGate:    st.lastGate,
+			Observed:    st.observedTotal,
+			Trained:     st.trainedTotal,
+			Promotions:  st.promotions,
+			Rejections:  st.rejections,
+			Rollbacks:   st.rollbacks,
+			WalSeq:      st.walSeq,
+			WalConsumed: st.walConsumed,
+		}
+		if len(st.pending) > 0 && st.pending[0].seq > 0 && st.pending[0].seq-1 < covered {
+			covered = st.pending[0].seq - 1
 		}
 		st.mu.Unlock()
 		if snap.Model == nil && len(snap.State) == 0 {
@@ -956,6 +1162,9 @@ func (r *Registry) SaveSnapshot() error {
 		}
 		out.Estimators[name] = snap
 		out.Lifecycles[name] = entry
+	}
+	if r.wal != nil {
+		out.Wal = &walFileInfo{Covered: covered}
 	}
 	r.mu.RUnlock()
 	data, err := json.MarshalIndent(&out, "", "  ")
@@ -982,39 +1191,75 @@ func (r *Registry) SaveSnapshot() error {
 		return err
 	}
 	r.snapshotsSaved.Add(1)
+	if r.wal != nil && out.Wal != nil {
+		// The snapshot is durable: log segments it makes redundant can go.
+		// Compaction failure is not a snapshot failure — the log is merely
+		// larger than it needs to be.
+		r.walLastCovered.Store(out.Wal.Covered)
+		_, _ = r.wal.Compact(out.Wal.Covered)
+	}
 	return nil
 }
 
 // loadSnapshotFile restores all estimators from a snapshot file; a missing
 // file is not an error (first boot).
+//
+// The load is hardened against torn writes and disk rot: a file that fails
+// to decode — truncated JSON, unknown version, invalid names — is set
+// aside as <path>.corrupt and logged, and the registry boots from whatever
+// the write-ahead log can replay (or empty, when the log is disabled too).
+// A daemon that recovers partial state and serves beats one that refuses
+// to start over a file no operator intervention can fix. Individual
+// estimator entries that fail to restore are likewise logged and skipped
+// without poisoning their siblings.
 func (r *Registry) loadSnapshotFile(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil
 		}
+		// A read error (permissions, transient IO) is NOT corruption: the
+		// file may be perfectly good, and booting empty would let the next
+		// snapshot write overwrite it with nothing. Refuse to start and let
+		// the operator fix the access problem.
 		return fmt.Errorf("server: read snapshot: %w", err)
+	}
+	setAside := func(reason string) {
+		corrupt := path + ".corrupt"
+		if rerr := os.Rename(path, corrupt); rerr != nil {
+			log.Printf("server: snapshot %s: %s; could not set aside (%v), continuing without it", path, reason, rerr)
+			return
+		}
+		log.Printf("server: snapshot %s: %s; moved to %s, recovering from the write-ahead log", path, reason, corrupt)
 	}
 	var in snapshotFile
 	if err := json.Unmarshal(data, &in); err != nil {
-		return fmt.Errorf("server: decode snapshot %s: %w", path, err)
+		setAside(fmt.Sprintf("corrupt (%v)", err))
+		return nil
 	}
 	if in.Version < 1 || in.Version > snapshotFileVersion {
-		return fmt.Errorf("server: unsupported snapshot version %d", in.Version)
+		setAside(fmt.Sprintf("unsupported version %d (this build reads 1..%d)", in.Version, snapshotFileVersion))
+		return nil
+	}
+	if in.Wal != nil {
+		r.walLastCovered.Store(in.Wal.Covered)
 	}
 	for name, snap := range in.Estimators {
 		if !nameRE.MatchString(name) {
-			return fmt.Errorf("server: snapshot has invalid estimator name %q", name)
+			log.Printf("server: snapshot %s: skipping invalid estimator name %q", path, name)
+			continue
 		}
 		est, err := quicksel.RestoreUntracked(snap)
 		if err != nil {
-			return fmt.Errorf("server: restore estimator %q: %w", name, err)
+			log.Printf("server: snapshot %s: skipping estimator %q: %v", path, name, err)
+			continue
 		}
 		entry := in.Lifecycles[name] // nil for v1/v2 files: fresh lifecycle state
 		if entry == nil {
-			st, err := r.newState(name, est, lifecycle.OriginRestored)
+			st, _, err := r.newState(name, est, lifecycle.OriginRestored)
 			if err != nil {
-				return err
+				log.Printf("server: snapshot %s: skipping estimator %q: %v", path, name, err)
+				continue
 			}
 			r.estimators[name] = st
 			continue
@@ -1025,7 +1270,8 @@ func (r *Registry) loadSnapshotFile(path string) error {
 		// twice).
 		payload, err := json.Marshal(snap)
 		if err != nil {
-			return fmt.Errorf("server: re-encode estimator %q: %w", name, err)
+			log.Printf("server: snapshot %s: skipping estimator %q: re-encode: %v", path, name, err)
+			continue
 		}
 		r.estimators[name] = &estimatorState{
 			name:          name,
@@ -1039,6 +1285,8 @@ func (r *Registry) loadSnapshotFile(path string) error {
 			promotions:    entry.Promotions,
 			rejections:    entry.Rejections,
 			rollbacks:     entry.Rollbacks,
+			walSeq:        entry.WalSeq,
+			walConsumed:   entry.WalConsumed,
 		}
 	}
 	return nil

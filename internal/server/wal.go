@@ -1,0 +1,294 @@
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math"
+	"sync"
+
+	"quicksel"
+	"quicksel/internal/lifecycle"
+	"quicksel/internal/predicate"
+	"quicksel/internal/wal"
+)
+
+// Write-ahead log integration. When Config.WALDir is set, the registry
+// appends every acknowledged observation — plus estimator creates, drops,
+// and lifecycle events — to an internal/wal Log before acknowledging it, so
+// a crash loses nothing that a client was told succeeded. Recovery layers
+// the log over the snapshot: NewRegistry restores the snapshot file, then
+// replays the log suffix the snapshot does not cover, leaving the registry
+// in the state an uncrashed run would hold (bit-identically where the
+// backend is deterministic).
+//
+// Two per-estimator watermarks drive the suffix logic, both persisted in
+// the registry snapshot:
+//
+//   - walSeq: the estimator's highest ingested observation. Records at or
+//     below it had their prequential accuracy sample recorded before the
+//     snapshot captured the tracker, so replay re-buffers them without
+//     re-tracking; records above it lost their sample in the crash and are
+//     re-tracked against the recovered serving model.
+//   - walConsumed: the highest observation a completed training run has
+//     taken out of the pending buffer. Records at or below it are inside
+//     (or deliberately rejected from) the snapshot's model and are skipped
+//     entirely.
+//
+// A snapshot also computes the registry-wide covered sequence number — the
+// highest seq with every record at or below it reflected in the snapshot —
+// records it in the file, and compacts the log up to it: segments the
+// snapshot makes redundant are deleted.
+//
+// Observations that a full buffer *dropped* are never appended (the drop
+// was reported to the client), so replay cannot resurrect them.
+
+// WAL record types. Only observe, create, and drop records carry state;
+// the lifecycle events are an audit trail and replay ignores them.
+const (
+	walRecObserve   byte = 1
+	walRecCreate    byte = 2
+	walRecDrop      byte = 3
+	walRecPromotion byte = 4
+	walRecRejection byte = 5
+	walRecRollback  byte = 6
+	walRecDrift     byte = 7
+)
+
+// Observation records use a hand-rolled binary payload — this is the
+// ingest hot path, and the JSON codec costs microseconds per record where
+// this costs nanoseconds:
+//
+//	uvarint len(name), name bytes
+//	8-byte LE selectivity bits
+//	binary predicate (predicate.AppendBinary)
+//
+// The rare record types (create, drop, events) stay JSON for debuggability.
+
+// observeScratch is the reusable encoding state of one observe batch: the
+// payload arena and the wal.Record headers pointing into it. Pooled —
+// ingest at high QPS must not allocate per batch.
+type observeScratch struct {
+	arena []byte
+	wrecs []wal.Record
+}
+
+var observeScratchPool = sync.Pool{New: func() any { return &observeScratch{} }}
+
+// encode frames every record of the batch into the arena.
+func (s *observeScratch) encode(name string, recs []ParsedObservation) {
+	s.arena = s.arena[:0]
+	s.wrecs = s.wrecs[:0]
+	for _, rec := range recs {
+		start := len(s.arena)
+		s.arena = appendObservePayload(s.arena, name, rec.Pred, rec.Sel)
+		s.wrecs = append(s.wrecs, wal.Record{Type: walRecObserve, Payload: s.arena[start:len(s.arena):len(s.arena)]})
+	}
+}
+
+// appendObservePayload encodes one observation record payload.
+func appendObservePayload(dst []byte, name string, pred *quicksel.Predicate, sel float64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(name)))
+	dst = append(dst, name...)
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(sel))
+	return predicate.AppendBinary(dst, pred)
+}
+
+// decodeObservePayload decodes appendObservePayload's output.
+func decodeObservePayload(data []byte) (name string, pred *quicksel.Predicate, sel float64, err error) {
+	n, k := binary.Uvarint(data)
+	if k <= 0 || uint64(len(data)-k) < n {
+		return "", nil, 0, fmt.Errorf("bad name length")
+	}
+	name = string(data[k : k+int(n)])
+	data = data[k+int(n):]
+	if len(data) < 8 {
+		return "", nil, 0, fmt.Errorf("truncated selectivity")
+	}
+	sel = math.Float64frombits(binary.LittleEndian.Uint64(data))
+	pred, rest, err := predicate.DecodeBinary(data[8:])
+	if err != nil {
+		return "", nil, 0, err
+	}
+	if len(rest) != 0 {
+		return "", nil, 0, fmt.Errorf("%d trailing bytes", len(rest))
+	}
+	return name, pred, sel, nil
+}
+
+// walCreate carries the initial estimator state, so recovery rebuilds
+// estimators created after the last snapshot. The envelope's lifecycle
+// section preserves the per-estimator lifecycle options.
+type walCreate struct {
+	Name     string          `json:"e"`
+	Snapshot json.RawMessage `json:"snapshot"`
+}
+
+// walNamed is the drop and drift-alarm payload.
+type walNamed struct {
+	Name string `json:"e"`
+}
+
+// walVersionEvent is the promotion / rejection / rollback audit payload.
+type walVersionEvent struct {
+	Name    string `json:"e"`
+	Version int    `json:"version,omitempty"`
+}
+
+// appendWALEvent stages an audit event without blocking on durability;
+// events are informational, replay ignores them, and losing a tail of them
+// in a crash costs nothing but audit detail.
+func (r *Registry) appendWALEvent(typ byte, v any) {
+	if r.wal == nil {
+		return
+	}
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	r.wal.Enqueue([]wal.Record{{Type: typ, Payload: payload}})
+}
+
+// replayWAL streams the retained log back into the freshly restored
+// registry: creates and drops reconcile the estimator map, observations
+// re-enter the pending buffers past the snapshot's watermarks. It runs
+// inside NewRegistry, before the training worker starts and before any
+// request can arrive, so it touches registry state without locks' help
+// (the locks are still taken where shared helpers expect them).
+//
+// A record that fails to decode (CRC-valid but semantically unreadable —
+// version skew, a bug) is logged and skipped rather than aborting startup:
+// serving with one lost record beats refusing to serve at all.
+func (r *Registry) replayWAL() error {
+	var replayed, skipped uint64
+	// Everything at or below the snapshot's covered watermark is already
+	// reflected in the restored registry. Compaction only deletes whole
+	// segments, so covered records can survive in the retained prefix —
+	// notably stale creates and drops, which would otherwise resurrect a
+	// dropped estimator or (worse) delete a restored one whose drop was
+	// later undone by a re-create.
+	covered := r.walLastCovered.Load()
+	err := r.wal.Replay(covered+1, func(rec wal.Record) error {
+		switch rec.Type {
+		case walRecObserve:
+			name, pred, sel, err := decodeObservePayload(rec.Payload)
+			if err != nil {
+				log.Printf("server: wal replay: skipping undecodable observe record %d: %v", rec.Seq, err)
+				skipped++
+				return nil
+			}
+			if r.replayObservation(rec.Seq, name, pred, sel) {
+				replayed++
+			}
+		case walRecCreate:
+			var c walCreate
+			if err := json.Unmarshal(rec.Payload, &c); err != nil {
+				log.Printf("server: wal replay: skipping undecodable create record %d: %v", rec.Seq, err)
+				skipped++
+				return nil
+			}
+			if _, ok := r.estimators[c.Name]; ok {
+				return nil // the snapshot already covers this create
+			}
+			var snap quicksel.Snapshot
+			if err := json.Unmarshal(c.Snapshot, &snap); err != nil {
+				log.Printf("server: wal replay: skipping create %q (record %d): %v", c.Name, rec.Seq, err)
+				skipped++
+				return nil
+			}
+			est, err := quicksel.RestoreUntracked(&snap)
+			if err != nil {
+				log.Printf("server: wal replay: skipping create %q (record %d): %v", c.Name, rec.Seq, err)
+				skipped++
+				return nil
+			}
+			st, _, err := r.newState(c.Name, est, lifecycle.OriginInitial)
+			if err != nil {
+				log.Printf("server: wal replay: skipping create %q (record %d): %v", c.Name, rec.Seq, err)
+				skipped++
+				return nil
+			}
+			st.walSeq, st.walConsumed = rec.Seq, rec.Seq
+			r.estimators[c.Name] = st
+			replayed++
+		case walRecDrop:
+			var d walNamed
+			if err := json.Unmarshal(rec.Payload, &d); err != nil {
+				log.Printf("server: wal replay: skipping undecodable drop record %d: %v", rec.Seq, err)
+				skipped++
+				return nil
+			}
+			delete(r.estimators, d.Name)
+			replayed++
+		default:
+			// Lifecycle audit events; the state they describe lives in the
+			// snapshot.
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("server: wal replay: %w", err)
+	}
+	r.walReplayed.Add(replayed)
+	r.walReplaySkipped.Add(skipped)
+	if r.anyPending() {
+		r.kick() // wake is buffered; the worker starts right after replay
+	}
+	return nil
+}
+
+// replayObservation re-ingests one logged observation, mirroring
+// ObserveParsed's bookkeeping. Reports whether the record was applied.
+func (r *Registry) replayObservation(seq uint64, name string, pred *quicksel.Predicate, sel float64) bool {
+	st, ok := r.estimators[name]
+	if !ok {
+		// Created before the snapshot and dropped before the crash (the
+		// later drop record, if retained, is a no-op too).
+		return false
+	}
+	st.mu.Lock()
+	if seq <= st.walConsumed {
+		st.mu.Unlock()
+		return false // already inside the snapshot's model
+	}
+	fresh := seq > st.walSeq // ingested after the snapshot: its sample died with the process
+	serving := st.serving
+	st.mu.Unlock()
+
+	est := nan
+	if fresh {
+		if v, err := serving.Estimate(pred); err == nil {
+			est = v
+		}
+	}
+
+	st.mu.Lock()
+	if fresh {
+		if est == est {
+			st.tracker.Add(est, sel)
+		}
+		st.observedTotal++
+	}
+	full := len(st.pending) >= r.cfg.BufferSize
+	if !full {
+		st.pending = append(st.pending, pendingObs{pred: pred, sel: sel, seq: seq})
+		if seq > st.walSeq {
+			st.walSeq = seq
+		}
+	}
+	st.mu.Unlock()
+	if full {
+		// Never drop an acknowledged record at replay: absorb the backlog
+		// into the model and retry. (The worker is not running yet, so this
+		// is the only drain.)
+		_ = r.flushAndTrain(st)
+		st.mu.Lock()
+		st.pending = append(st.pending, pendingObs{pred: pred, sel: sel, seq: seq})
+		if seq > st.walSeq {
+			st.walSeq = seq
+		}
+		st.mu.Unlock()
+	}
+	return true
+}

@@ -1,0 +1,34 @@
+// Raw append benchmarks: one batched Enqueue+wait per op, isolating the
+// log's own cost (framing, group commit, durability wait) from everything
+// the serving registry layers on top.
+package wal
+
+import (
+	"testing"
+)
+
+func benchAppend(b *testing.B, batch int, policy Policy) {
+	l, err := Open(b.TempDir(), Options{Sync: policy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	payload := make([]byte, 80)
+	recs := make([]Record, batch)
+	for i := range recs {
+		recs[i] = Record{Type: 1, Payload: payload}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, wait := l.Enqueue(recs)
+		if err := wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/record")
+}
+
+func BenchmarkAppendBatch512Interval(b *testing.B) { benchAppend(b, 512, SyncInterval) }
+func BenchmarkAppendBatch512Never(b *testing.B)    { benchAppend(b, 512, SyncNever) }
+func BenchmarkAppendBatch512Always(b *testing.B)   { benchAppend(b, 512, SyncAlways) }

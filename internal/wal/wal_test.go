@@ -1,0 +1,323 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openT(t *testing.T, dir string, opts Options) *Log {
+	t.Helper()
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l
+}
+
+func collect(t *testing.T, l *Log, from uint64) []Record {
+	t.Helper()
+	var out []Record
+	if err := l.Replay(from, func(r Record) error {
+		out = append(out, Record{Type: r.Type, Seq: r.Seq, Payload: append([]byte(nil), r.Payload...)})
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Sync: SyncAlways})
+	for i := 0; i < 10; i++ {
+		seq, err := l.Append(Record{Type: 7, Payload: []byte(fmt.Sprintf("rec-%d", i))})
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("Append seq = %d, want %d", seq, i+1)
+		}
+	}
+	recs := collect(t, l, 1)
+	if len(recs) != 10 {
+		t.Fatalf("replayed %d records, want 10", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) || r.Type != 7 || string(r.Payload) != fmt.Sprintf("rec-%d", i) {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+	if got := collect(t, l, 8); len(got) != 3 || got[0].Seq != 8 {
+		t.Fatalf("Replay(8) = %+v", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen resumes the sequence run.
+	l = openT(t, dir, Options{})
+	defer l.Close()
+	if l.LastSeq() != 10 {
+		t.Fatalf("reopened LastSeq = %d, want 10", l.LastSeq())
+	}
+	if seq, err := l.Append(Record{Type: 1, Payload: []byte("after")}); err != nil || seq != 11 {
+		t.Fatalf("Append after reopen = %d, %v", seq, err)
+	}
+	if got := collect(t, l, 1); len(got) != 11 {
+		t.Fatalf("replayed %d records after reopen, want 11", len(got))
+	}
+}
+
+func TestRotationAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{SegmentSize: 64, Sync: SyncAlways})
+	payload := bytes.Repeat([]byte("x"), 40)
+	for i := 0; i < 12; i++ {
+		if _, err := l.Append(Record{Type: 1, Payload: payload}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	st := l.Stats()
+	if st.Rotations == 0 || st.Segments < 2 {
+		t.Fatalf("expected rotations, got %+v", st)
+	}
+	if got := collect(t, l, 1); len(got) != 12 {
+		t.Fatalf("replayed %d records across segments, want 12", len(got))
+	}
+
+	removed, err := l.Compact(6)
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if removed == 0 {
+		t.Fatal("Compact removed nothing")
+	}
+	got := collect(t, l, 1)
+	if len(got) == 0 || got[len(got)-1].Seq != 12 {
+		t.Fatalf("post-compaction tail = %+v", got)
+	}
+	if first := got[0].Seq; first > 7 {
+		t.Fatalf("compaction dropped uncovered seq: first retained = %d", first)
+	}
+	// The retained prefix is contiguous.
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq != got[i-1].Seq+1 {
+			t.Fatalf("replay gap at %d: %+v", i, got[i])
+		}
+	}
+	l.Close()
+
+	// Reopen after compaction: tail preserved, appends continue at 13.
+	l = openT(t, dir, Options{})
+	defer l.Close()
+	if seq, err := l.Append(Record{Type: 1, Payload: []byte("y")}); err != nil || seq != 13 {
+		t.Fatalf("Append after compacted reopen = %d, %v", seq, err)
+	}
+}
+
+func TestCompactEverythingKeepsTailPosition(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{SegmentSize: 32, Sync: SyncAlways})
+	for i := 0; i < 8; i++ {
+		if _, err := l.Append(Record{Type: 1, Payload: bytes.Repeat([]byte("z"), 30)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.Compact(8); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l = openT(t, dir, Options{})
+	defer l.Close()
+	if seq, err := l.Append(Record{Type: 1, Payload: []byte("a")}); err != nil || seq != 9 {
+		t.Fatalf("seq after full compaction = %d, %v (sequence run must survive)", seq, err)
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Sync: SyncAlways})
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(Record{Type: 2, Payload: []byte(fmt.Sprintf("good-%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Simulate a crash mid-append: garbage tail bytes.
+	path := segPath(dir, 1)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l = openT(t, dir, Options{Sync: SyncAlways})
+	defer l.Close()
+	if st := l.Stats(); st.TruncatedBytes != 3 {
+		t.Fatalf("TruncatedBytes = %d, want 3", st.TruncatedBytes)
+	}
+	if got := collect(t, l, 1); len(got) != 5 {
+		t.Fatalf("replayed %d records after torn tail, want 5", len(got))
+	}
+	if seq, err := l.Append(Record{Type: 2, Payload: []byte("good-5")}); err != nil || seq != 6 {
+		t.Fatalf("Append after truncation = %d, %v", seq, err)
+	}
+}
+
+func TestCorruptMiddleFrameTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Sync: SyncAlways})
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(Record{Type: 2, Payload: []byte("payload")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Flip one payload byte in the middle of the segment: everything from
+	// that frame on is unusable and truncated away.
+	path := segPath(dir, 1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := (len(data) / 5)
+	data[frame+frameHeaderSize+frameBodyOverhead] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l = openT(t, dir, Options{Sync: SyncAlways})
+	defer l.Close()
+	if got := collect(t, l, 1); len(got) != 1 {
+		t.Fatalf("replayed %d records after mid-file corruption, want 1", len(got))
+	}
+}
+
+func TestCorruptRotatedSegmentRefused(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{SegmentSize: 48, Sync: SyncAlways})
+	for i := 0; i < 8; i++ {
+		if _, err := l.Append(Record{Type: 1, Payload: bytes.Repeat([]byte("q"), 40)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Stats().Segments < 2 {
+		t.Fatal("test needs at least two segments")
+	}
+	l.Close()
+
+	// Corrupt the OLDEST segment (immutable, rotation-closed): Open must
+	// refuse rather than silently drop the records behind the bad frame.
+	data, err := os.ReadFile(segPath(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[frameHeaderSize+frameBodyOverhead] ^= 0xff
+	if err := os.WriteFile(segPath(dir, 1), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open accepted a corrupt rotated segment")
+	}
+}
+
+func TestGroupCommitConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Sync: SyncAlways, SegmentSize: 4096})
+	defer l.Close()
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := l.Append(Record{Type: byte(w), Payload: []byte(fmt.Sprintf("w%d-%d", w, i))}); err != nil {
+					t.Errorf("Append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.Appended != workers*per {
+		t.Fatalf("Appended = %d, want %d", st.Appended, workers*per)
+	}
+	if st.Flushes >= st.Appended {
+		t.Logf("no coalescing observed (flushes=%d appended=%d); legal but unexpected", st.Flushes, st.Appended)
+	}
+	recs := collect(t, l, 1)
+	if len(recs) != workers*per {
+		t.Fatalf("replayed %d, want %d", len(recs), workers*per)
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("seq gap at %d: %d", i, r.Seq)
+		}
+	}
+}
+
+func TestEnqueueAckMeansOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Sync: SyncInterval})
+	_, last, wait := l.Enqueue([]Record{{Type: 3, Payload: []byte("a")}, {Type: 3, Payload: []byte("b")}})
+	if err := wait(); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if last != 2 {
+		t.Fatalf("last = %d, want 2", last)
+	}
+	if l.DurableSeq() < 2 {
+		t.Fatalf("DurableSeq = %d after ack, want >= 2", l.DurableSeq())
+	}
+	// The bytes are on disk (page cache): a different reader sees them.
+	var names []string
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, names[0]))
+	if err != nil || len(data) == 0 {
+		t.Fatalf("segment unreadable after ack: %v (%d bytes)", err, len(data))
+	}
+	l.Close()
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{})
+	l.Close()
+	if _, err := l.Append(Record{Type: 1, Payload: []byte("x")}); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, ok := range []string{"", "always", "interval", "never"} {
+		if _, err := ParsePolicy(ok); err != nil {
+			t.Errorf("ParsePolicy(%q): %v", ok, err)
+		}
+	}
+	if _, err := ParsePolicy("sometimes"); err == nil {
+		t.Error("ParsePolicy accepted garbage")
+	}
+}
+
+func TestOversizedPayloadRejected(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{})
+	defer l.Close()
+	if _, err := l.Append(Record{Type: 1, Payload: make([]byte, MaxPayload+1)}); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}

@@ -3,6 +3,7 @@ package quicksel
 import (
 	"quicksel/internal/estimator"
 	"quicksel/internal/lifecycle"
+	"quicksel/internal/wal"
 )
 
 // Option configures an Estimator at construction time.
@@ -182,4 +183,44 @@ func WithAccuracyWindow(n int) Option {
 // memory cost of one full model snapshot per version.
 func WithVersionHistory(n int) Option {
 	return func(c *estimator.Config) { c.Lifecycle.History = n }
+}
+
+// Write-ahead-log fsync policies accepted by WithWALFsync; see the
+// internal/wal package for the durability trade-offs.
+const (
+	// WALFsyncAlways fsyncs every group-commit batch before Observe
+	// returns: an acknowledged observation survives machine power loss.
+	WALFsyncAlways = string(wal.SyncAlways)
+	// WALFsyncInterval (the default) acknowledges once the batch reaches
+	// the OS page cache and fsyncs in the background: an acknowledged
+	// observation survives a killed process.
+	WALFsyncInterval = string(wal.SyncInterval)
+	// WALFsyncNever never fsyncs; the OS flushes on its own schedule.
+	WALFsyncNever = string(wal.SyncNever)
+)
+
+// WithWAL enables a write-ahead observation log in dir: every Observe is
+// appended (and group-committed) before it returns, and New with the same
+// option replays the log so a restarted process resumes with every
+// acknowledged observation intact — no snapshot required. Restore replays
+// only the suffix after the snapshot's recorded log position, so
+// Checkpoint + Restore bound both the log size and the recovery time.
+// The same durability for the serving daemon is configured with quickseld's
+// -wal-dir flag instead.
+func WithWAL(dir string) Option {
+	return func(c *estimator.Config) { c.WAL.Dir = dir }
+}
+
+// WithWALFsync selects the log's fsync policy: WALFsyncAlways,
+// WALFsyncInterval (default), or WALFsyncNever. An unknown name fails New
+// with an error listing the valid policies.
+func WithWALFsync(policy string) Option {
+	return func(c *estimator.Config) { c.WAL.Sync = policy }
+}
+
+// WithWALSegmentSize sets the log's segment rotation threshold in bytes
+// (default 64 MiB). Smaller segments compact at a finer grain after a
+// checkpoint; larger ones mean fewer files.
+func WithWALSegmentSize(bytes int64) Option {
+	return func(c *estimator.Config) { c.WAL.SegmentSize = bytes }
 }

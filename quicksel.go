@@ -8,6 +8,7 @@ import (
 	"quicksel/internal/geom"
 	"quicksel/internal/lifecycle"
 	"quicksel/internal/predicate"
+	"quicksel/internal/wal"
 )
 
 // Re-exported schema and predicate vocabulary. These alias the internal
@@ -84,6 +85,13 @@ type Estimator struct {
 	// running on the resolved defaults.
 	life    lifecycle.Config
 	tracker *lifecycle.Tracker
+
+	// wal is the attached write-ahead observation log (nil without
+	// WithWAL); walSeq is the highest log sequence number this estimator
+	// has staged, recorded in snapshots so Restore knows where replay
+	// starts. Guarded by mu.
+	wal    *wal.Log
+	walSeq uint64
 }
 
 // LifecycleConfig is the model-lifecycle tuning carried by an Estimator:
@@ -114,12 +122,20 @@ func New(schema *Schema, opts ...Option) (*Estimator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Estimator{
+	e := &Estimator{
 		schema:  schema,
 		backend: b,
 		life:    cfg.Lifecycle,
 		tracker: lifecycle.NewTracker(cfg.Lifecycle),
-	}, nil
+	}
+	if cfg.WAL.Dir != "" {
+		// A pre-existing log replays in full: New with the same WithWAL
+		// directory is the restart path for embedders that never snapshot.
+		if err := e.attachWAL(cfg.WAL, 0, true); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
 }
 
 // Schema returns the estimator's schema.
@@ -145,8 +161,37 @@ func (e *Estimator) Observe(p *Predicate, trueSelectivity float64) error {
 	if err != nil {
 		return fmt.Errorf("quicksel: observe: %w", err)
 	}
+	var payload []byte
+	if e.wal != nil {
+		// Encode the log record outside the lock; the append itself is
+		// staged under the lock so log order equals apply order, which is
+		// what makes replay reproduce the live run.
+		payload = appendObservationPayload(nil, p, trueSelectivity)
+	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	err = e.ingestLocked(boxes, trueSelectivity)
+	var wait func() error
+	if err == nil && e.wal != nil {
+		var last uint64
+		_, last, wait = e.wal.Enqueue([]wal.Record{{Type: walRecObservation, Payload: payload}})
+		e.walSeq = last
+	}
+	e.mu.Unlock()
+	if wait != nil {
+		// Don't acknowledge until the record reaches the log's durability
+		// point (group-committed with concurrent observers).
+		if werr := wait(); werr != nil {
+			return fmt.Errorf("quicksel: observe: wal append: %w", werr)
+		}
+	}
+	return err
+}
+
+// ingestLocked records the prequential accuracy sample and feeds the
+// lowered boxes to the backend; the caller holds e.mu. Both Observe and
+// write-ahead-log replay run through it, which is what keeps a replayed
+// estimator bit-identical to the live one.
+func (e *Estimator) ingestLocked(boxes []geom.Box, trueSelectivity float64) error {
 	if e.tracker != nil && !estimator.FitPending(e.backend) {
 		if est, err := e.backend.Estimate(boxes); err == nil {
 			e.tracker.Add(est, trueSelectivity)

@@ -11,11 +11,12 @@ import (
 )
 
 // SnapshotVersion is the format version of estimator snapshots produced by
-// this package. Version 3 adds the Lifecycle field (accuracy-tracker state
-// and lifecycle configuration); version 2 added the Method field and the
-// method-specific State payload. DecodeSnapshot and Restore accept versions
-// 1 (QuickSel method only), 2, and 3.
-const SnapshotVersion = 3
+// this package. Version 4 adds the WalSeq field (the write-ahead-log
+// position the snapshot covers); version 3 added the Lifecycle field
+// (accuracy-tracker state and lifecycle configuration); version 2 added the
+// Method field and the method-specific State payload. DecodeSnapshot and
+// Restore accept versions 1 (QuickSel method only) through 4.
+const SnapshotVersion = 4
 
 // Snapshot is the full serializable state of an Estimator: its schema, the
 // estimation method backing it, and the method's model state. A restored
@@ -41,6 +42,10 @@ type Snapshot struct {
 	// Absent in version 1/2 envelopes; a restored v1/v2 estimator starts
 	// with a fresh tracker. Bit-identity of estimates never depends on it.
 	Lifecycle *SnapshotLifecycle `json:"lifecycle,omitempty"`
+	// WalSeq is the write-ahead-log sequence number of the last observation
+	// this snapshot covers (version 4; zero without a WAL). Restore with a
+	// WithWAL option replays only records after it.
+	WalSeq uint64 `json:"wal_seq,omitempty"`
 }
 
 // SnapshotLifecycle is the lifecycle section of a version-3 snapshot
@@ -60,6 +65,7 @@ func (e *Estimator) Snapshot() *Snapshot {
 		Method:    e.backend.Method(),
 		Schema:    &Schema{Cols: append([]Column(nil), e.schema.Cols...)},
 		Lifecycle: &SnapshotLifecycle{Config: e.life},
+		WalSeq:    e.walSeq,
 	}
 	if e.tracker != nil {
 		s.Lifecycle.Tracker = e.tracker.State()
@@ -82,7 +88,14 @@ func (e *Estimator) Snapshot() *Snapshot {
 
 // Restore rebuilds an estimator from a snapshot, validating the version,
 // the schema, the method, and the model state's internal consistency.
-func Restore(s *Snapshot) (*Estimator, error) { return restore(s, true) }
+//
+// Options may attach a write-ahead log (WithWAL and friends): the log's
+// records after the snapshot's WalSeq are replayed into the restored model
+// — the checkpoint-plus-suffix recovery path — and subsequent Observe
+// calls append to the log. Options that would alter the model itself
+// (method, seed, budgets) are ignored: that configuration is part of the
+// snapshot.
+func Restore(s *Snapshot, opts ...Option) (*Estimator, error) { return restore(s, true, opts) }
 
 // RestoreUntracked is Restore with in-process accuracy tracking disabled:
 // Observe skips the prequential sample and Accuracy reports an empty
@@ -90,9 +103,11 @@ func Restore(s *Snapshot) (*Estimator, error) { return restore(s, true) }
 // serving models — it records realized accuracy registry-side, across
 // model swaps, so a per-model tracker would only duplicate work on the
 // training path and persist meaningless samples.
-func RestoreUntracked(s *Snapshot) (*Estimator, error) { return restore(s, false) }
+func RestoreUntracked(s *Snapshot, opts ...Option) (*Estimator, error) {
+	return restore(s, false, opts)
+}
 
-func restore(s *Snapshot, track bool) (*Estimator, error) {
+func restore(s *Snapshot, track bool, opts []Option) (*Estimator, error) {
 	if s == nil {
 		return nil, fmt.Errorf("quicksel: nil snapshot")
 	}
@@ -145,9 +160,18 @@ func restore(s *Snapshot, track bool) (*Estimator, error) {
 	if _, err := lifecycle.ParsePolicy(string(lcfg.Policy)); err != nil {
 		return nil, fmt.Errorf("quicksel: snapshot lifecycle: %w", err)
 	}
-	e := &Estimator{schema: schema, backend: backend, life: lcfg}
+	e := &Estimator{schema: schema, backend: backend, life: lcfg, walSeq: s.WalSeq}
 	if track {
 		e.tracker = lifecycle.RestoreTracker(lcfg, tstate)
+	}
+	var cfg estimator.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.WAL.Dir != "" {
+		if err := e.attachWAL(cfg.WAL, s.WalSeq, false); err != nil {
+			return nil, err
+		}
 	}
 	return e, nil
 }
