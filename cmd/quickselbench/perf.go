@@ -12,6 +12,7 @@ import (
 	"quicksel"
 	"quicksel/internal/core"
 	"quicksel/internal/geom"
+	"quicksel/internal/obs"
 )
 
 // perfSizes is the (m, d) matrix of the perf trajectory: subpopulation
@@ -32,6 +33,12 @@ type perfResult struct {
 	TrainSpeedup    float64 `json:"train_speedup"`
 	EstimateNs      float64 `json:"estimate_ns"`
 	BatchPerQueryNs float64 `json:"estimate_batch_per_query_ns"`
+	// Tail percentiles of the single-estimate latency, from the same
+	// log-linear histogram the daemon exports on /metrics; the mean above
+	// hides the tail the daemon's SLO lives on.
+	EstimateP50Ns float64 `json:"estimate_p50_ns"`
+	EstimateP95Ns float64 `json:"estimate_p95_ns"`
+	EstimateP99Ns float64 `json:"estimate_p99_ns"`
 }
 
 // perfReport is the file shape of BENCH_quicksel.json. The perf subcommand
@@ -143,8 +150,9 @@ func runPerf(outPath string, maxM int) (string, error) {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "perf: GOMAXPROCS=%d %s\n", report.GoMaxProcs, report.GoVersion)
-	fmt.Fprintf(&b, "%6s %3s %14s %14s %8s %13s %14s\n",
-		"m", "d", "train-seq-ms", "train-par-ms", "speedup", "estimate-ns", "batch-ns/query")
+	fmt.Fprintf(&b, "%6s %3s %14s %14s %8s %13s %14s %10s %10s %10s\n",
+		"m", "d", "train-seq-ms", "train-par-ms", "speedup", "estimate-ns", "batch-ns/query",
+		"est-p50-ns", "est-p95-ns", "est-p99-ns")
 	for _, sz := range perfSizes {
 		if maxM > 0 && sz.m > maxM {
 			continue
@@ -167,13 +175,17 @@ func runPerf(outPath string, maxM int) (string, error) {
 		}
 		box := geom.NewBox(lo, hi)
 		const estIters = 2000
+		var hist obs.Histogram
 		start := time.Now()
 		for i := 0; i < estIters; i++ {
+			t := time.Now()
 			if _, err := model.Estimate(box); err != nil {
 				return "", err
 			}
+			hist.Observe(time.Since(t))
 		}
 		estNs := float64(time.Since(start).Nanoseconds()) / estIters
+		snap := hist.Snapshot()
 
 		batchNs, err := timeBatch(sz.m, sz.d)
 		if err != nil {
@@ -188,11 +200,15 @@ func runPerf(outPath string, maxM int) (string, error) {
 			TrainSpeedup:    seq.Seconds() / par.Seconds(),
 			EstimateNs:      estNs,
 			BatchPerQueryNs: batchNs,
+			EstimateP50Ns:   float64(snap.Quantile(0.50).Nanoseconds()),
+			EstimateP95Ns:   float64(snap.Quantile(0.95).Nanoseconds()),
+			EstimateP99Ns:   float64(snap.Quantile(0.99).Nanoseconds()),
 		}
 		report.Results = append(report.Results, res)
-		fmt.Fprintf(&b, "%6d %3d %14.1f %14.1f %8.2f %13.0f %14.0f\n",
+		fmt.Fprintf(&b, "%6d %3d %14.1f %14.1f %8.2f %13.0f %14.0f %10.0f %10.0f %10.0f\n",
 			res.M, res.D, res.TrainSeqMs, res.TrainParMs, res.TrainSpeedup,
-			res.EstimateNs, res.BatchPerQueryNs)
+			res.EstimateNs, res.BatchPerQueryNs,
+			res.EstimateP50Ns, res.EstimateP95Ns, res.EstimateP99Ns)
 	}
 	observe, observeOut, err := runObserveBench()
 	if err != nil {

@@ -12,8 +12,11 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
+
+	obspkg "quicksel/internal/obs"
 )
 
 // The kill -9 end-to-end test of the durability acceptance criterion: a
@@ -72,10 +75,10 @@ type daemon struct {
 	out  bytes.Buffer
 }
 
-func startDaemon(t *testing.T, bin, addr string, dir string) *daemon {
+func startDaemon(t *testing.T, bin, addr string, dir string, extra ...string) *daemon {
 	t.Helper()
 	d := &daemon{t: t, base: "http://" + addr}
-	d.cmd = exec.Command(bin,
+	args := []string{
 		"-addr", addr,
 		"-snapshot", filepath.Join(dir, "snap.json"),
 		"-wal-dir", filepath.Join(dir, "wal"),
@@ -83,15 +86,19 @@ func startDaemon(t *testing.T, bin, addr string, dir string) *daemon {
 		"-train-interval", "1h", // no background training: the test controls every train
 		"-drift-threshold", "-1", // no drift-triggered training either
 		"-seed", "7",
-	)
+	}
+	d.cmd = exec.Command(bin, append(args, extra...)...)
 	d.cmd.Stdout = &d.out
 	d.cmd.Stderr = &d.out
 	if err := d.cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
+	// Wait on readiness, not liveness: /readyz flips 200 only once the
+	// snapshot is restored, the WAL replayed, and the trainer running —
+	// exactly when the test may start sending traffic.
 	deadline := time.Now().Add(15 * time.Second)
 	for time.Now().Before(deadline) {
-		resp, err := http.Get(d.base + "/healthz")
+		resp, err := http.Get(d.base + "/readyz")
 		if err == nil {
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusOK {
@@ -101,7 +108,7 @@ func startDaemon(t *testing.T, bin, addr string, dir string) *daemon {
 		time.Sleep(25 * time.Millisecond)
 	}
 	d.cmd.Process.Kill()
-	t.Fatalf("daemon on %s never became healthy; output:\n%s", addr, d.out.String())
+	t.Fatalf("daemon on %s never became ready; output:\n%s", addr, d.out.String())
 	return nil
 }
 
@@ -278,5 +285,93 @@ func TestCrashRecoveryKill9E2E(t *testing.T) {
 	// The log survives for forensics; the daemon directory must contain it.
 	if ents, err := os.ReadDir(filepath.Join(dir, "wal")); err != nil || len(ents) == 0 {
 		t.Errorf("wal directory missing after recovery: %v", err)
+	}
+}
+
+// TestObservabilityE2E drives the operational surface of a real daemon
+// process: readiness, the Prometheus exposition (validated with the
+// conformance parser), the request-trace ring, opt-in pprof, and JSON
+// structured logs on stderr.
+func TestObservabilityE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := buildDaemon(t)
+	d := startDaemon(t, bin, freeAddr(t), t.TempDir(), "-pprof", "-log-format", "json")
+	defer d.stop()
+
+	// startDaemon already waited for /readyz 200; liveness must agree.
+	if status, body := d.get("/healthz"); status != http.StatusOK {
+		t.Fatalf("healthz: status %d: %s", status, body)
+	}
+
+	d.createEstimator()
+	d.stream(e2eObservations(10, 7), 5)
+	d.train()
+	d.estimate("age >= 40")
+
+	// /metrics must pass the exposition grammar end to end and carry the
+	// latency histogram families for the traffic just sent.
+	status, body := d.get("/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics: status %d", status)
+	}
+	if err := obspkg.ValidateExposition(bytes.NewReader(body)); err != nil {
+		t.Fatalf("metrics exposition invalid: %v", err)
+	}
+	for _, want := range []string{
+		"# TYPE quickseld_observe_duration_seconds histogram",
+		"# TYPE quickseld_estimate_duration_seconds histogram",
+		"# TYPE quickseld_wal_fsync_duration_seconds histogram",
+		`quickseld_estimate_duration_seconds_bucket{estimator="people",method="quicksel",le="+Inf"} 1`,
+		"quickseld_ready 1",
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// The estimate request must be in the trace ring with its stage timings.
+	status, body = d.get("/debug/requests")
+	if status != http.StatusOK {
+		t.Fatalf("debug/requests: status %d", status)
+	}
+	var dump struct {
+		Traces []obspkg.Trace `json:"traces"`
+	}
+	if err := json.Unmarshal(body, &dump); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tr := range dump.Traces {
+		if tr.Kind == "http" && tr.Name == "GET /v1/people/estimate" {
+			found = true
+			if len(tr.Stages) != 3 {
+				t.Errorf("estimate trace stages = %+v, want decode/model/encode", tr.Stages)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("estimate request not traced; ring: %s", body)
+	}
+
+	// pprof was opted in: a profile fetch must work.
+	if status, body := d.get("/debug/pprof/goroutine?debug=1"); status != http.StatusOK || !bytes.Contains(body, []byte("goroutine")) {
+		t.Errorf("pprof goroutine profile: status %d, body %.80s", status, body)
+	}
+
+	d.stop()
+	// -log-format=json: every stderr record is a JSON object; the startup
+	// line carries the structured addr/pprof fields.
+	logs := d.out.String()
+	if !strings.Contains(logs, `"msg":"quickseld: serving"`) || !strings.Contains(logs, `"pprof":true`) {
+		t.Errorf("structured startup log missing; output:\n%s", logs)
+	}
+
+	// Without -pprof the profile endpoints must not exist.
+	plain := startDaemon(t, bin, freeAddr(t), t.TempDir())
+	defer plain.stop()
+	if status, _ := plain.get("/debug/pprof/"); status != http.StatusNotFound {
+		t.Errorf("pprof served without the flag: status %d", status)
 	}
 }

@@ -24,6 +24,18 @@
 //	POST   /v1/snapshot              force a snapshot write
 //	GET    /metrics                  Prometheus metrics (labeled by method)
 //	GET    /healthz                  liveness probe
+//	GET    /readyz                   readiness probe (snapshot restored, WAL replayed, trainer running)
+//	GET    /debug/requests           recent request/train traces with stage timings
+//	GET    /debug/pprof/             runtime profiles (opt-in via -pprof)
+//
+// The daemon logs structured records (log/slog) to stderr; -log-level and
+// -log-format=text|json control verbosity and shape. Every /v1 request is
+// traced — assigned an X-Request-Id, timed per stage (decode, model,
+// encode) — and retained in a fixed-size ring served by /debug/requests;
+// requests slower than -slow-request are logged with their stage
+// breakdown. /readyz answers 503 from the first accepted connection until
+// snapshot restore and WAL replay finish, so load balancers hold traffic
+// during a long recovery while /healthz already reports the process live.
 //
 // Every estimator runs inside the model lifecycle (internal/lifecycle): an
 // accuracy tracker scores the serving model on each incoming observation, a
@@ -56,15 +68,18 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"quicksel/internal/lifecycle"
+	"quicksel/internal/obs"
 	"quicksel/internal/server"
 	"quicksel/internal/wal"
 )
@@ -84,6 +99,11 @@ type flagValues struct {
 	walDir         string
 	walFsync       string
 	walSegmentSize int64
+	logLevel       string
+	logFormat      string
+	pprof          bool
+	traceRing      int
+	slowRequest    time.Duration
 }
 
 // buildConfig rejects garbage flag values at startup with errors that name
@@ -117,6 +137,17 @@ func buildConfig(v flagValues) (server.Config, error) {
 	if v.walSegmentSize <= 0 {
 		return server.Config{}, fmt.Errorf("-wal-segment-size must be a positive byte count, got %d", v.walSegmentSize)
 	}
+	level, err := obs.ParseLevel(v.logLevel)
+	if err != nil {
+		return server.Config{}, fmt.Errorf("-log-level: %w", err)
+	}
+	logger, err := obs.NewLogger(os.Stderr, level, v.logFormat)
+	if err != nil {
+		return server.Config{}, fmt.Errorf("-log-format: %w", err)
+	}
+	if v.traceRing < 0 {
+		return server.Config{}, fmt.Errorf("-trace-ring must not be negative, got %d", v.traceRing)
+	}
 	return server.Config{
 		SnapshotPath:     v.snapshotPath,
 		TrainInterval:    v.trainInterval,
@@ -132,6 +163,10 @@ func buildConfig(v flagValues) (server.Config, error) {
 		WALDir:         v.walDir,
 		WALSync:        v.walFsync,
 		WALSegmentSize: v.walSegmentSize,
+		Logger:         logger,
+		TraceRingSize:  v.traceRing,
+		SlowRequest:    v.slowRequest,
+		Pprof:          v.pprof,
 	}, nil
 }
 
@@ -152,22 +187,53 @@ func main() {
 	flag.StringVar(&v.walDir, "wal-dir", "", "write-ahead observation log directory (empty disables the log; see ARCHITECTURE.md \"Durability\")")
 	flag.StringVar(&v.walFsync, "wal-fsync", "interval", "WAL fsync policy: always (acked observations survive power loss), interval (survive a killed process; background fsync), or never")
 	flag.Int64Var(&v.walSegmentSize, "wal-segment-size", wal.DefaultSegmentSize, "WAL segment rotation threshold in bytes")
+
+	flag.StringVar(&v.logLevel, "log-level", "info", "minimum log level: debug, info, warn, or error")
+	flag.StringVar(&v.logFormat, "log-format", "text", "log record format: text or json")
+	flag.BoolVar(&v.pprof, "pprof", false, "serve runtime profiles under /debug/pprof/ (opt-in: profiles expose call stacks and heap contents)")
+	flag.IntVar(&v.traceRing, "trace-ring", server.DefaultTraceRingSize, "completed request/train traces retained for GET /debug/requests")
+	flag.DurationVar(&v.slowRequest, "slow-request", server.DefaultSlowRequest, "log requests slower than this with their stage breakdown (negative disables)")
 	flag.Parse()
 
 	cfg, err := buildConfig(v)
 	if err != nil {
-		log.Fatalf("quickseld: %v", err)
+		slog.Error("quickseld: invalid flags", slog.Any("error", err))
+		os.Exit(1)
 	}
-	srv, err := server.New(cfg)
-	if err != nil {
-		log.Fatalf("quickseld: %v", err)
+	logger := cfg.Logger
+	fatal := func(msg string, err error) {
+		logger.Error(msg, slog.Any("error", err))
+		os.Exit(1)
 	}
 
+	// Bind the listen address before building the registry: snapshot restore
+	// and WAL replay can take a while, and during that window the boot-gate
+	// handler answers /healthz 200 (the process is live) but everything else
+	// 503 (not ready), so probes and load balancers see an honest picture
+	// instead of connection-refused. Once server.New returns, the real
+	// handler is swapped in atomically.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal("quickseld: listen", err)
+	}
+	var handler atomic.Pointer[http.Handler]
+	boot := newBootHandler()
+	handler.Store(&boot)
 	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           srv,
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			(*handler.Load()).ServeHTTP(w, r)
+		}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		fatal("quickseld: startup", err)
+	}
+	real := http.Handler(srv)
+	handler.Store(&real)
 
 	done := make(chan struct{})
 	go func() {
@@ -175,22 +241,43 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		s := <-sig
-		log.Printf("quickseld: received %s, shutting down", s)
+		logger.Info("quickseld: shutting down", slog.String("signal", s.String()))
 		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
-			log.Printf("quickseld: http shutdown: %v", err)
+			logger.Warn("quickseld: http shutdown", slog.Any("error", err))
 		}
 	}()
 
-	log.Printf("quickseld: serving on %s (snapshot=%q wal=%q)", *addr, v.snapshotPath, v.walDir)
-	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("quickseld: %v", err)
+	logger.Info("quickseld: serving",
+		slog.String("addr", ln.Addr().String()),
+		slog.String("snapshot", v.snapshotPath),
+		slog.String("wal", v.walDir),
+		slog.Bool("pprof", v.pprof),
+	)
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal("quickseld: serve", err)
 	}
 	<-done
 	// Flush pending observations, train, and persist the final snapshot.
 	if err := srv.Close(); err != nil {
-		log.Fatalf("quickseld: close: %v", err)
+		fatal("quickseld: close", err)
 	}
-	log.Printf("quickseld: bye")
+	logger.Info("quickseld: bye")
+}
+
+// newBootHandler serves the startup window between bind and readiness:
+// liveness is already true, readiness and everything else honestly 503.
+func newBootHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"ready":false,"reason":"starting up"}`)
+	})
+	return mux
 }

@@ -52,6 +52,9 @@ func TestBuildConfigRejectsGarbage(t *testing.T) {
 		{"unknown wal fsync", func(v *flagValues) { v.walFsync = "später" }, "-wal-fsync"},
 		{"zero wal segment size", func(v *flagValues) { v.walSegmentSize = 0 }, "-wal-segment-size"},
 		{"negative wal segment size", func(v *flagValues) { v.walSegmentSize = -1 }, "-wal-segment-size"},
+		{"unknown log level", func(v *flagValues) { v.logLevel = "loud" }, "-log-level"},
+		{"unknown log format", func(v *flagValues) { v.logFormat = "xml" }, "-log-format"},
+		{"negative trace ring", func(v *flagValues) { v.traceRing = -1 }, "-trace-ring"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -73,5 +76,24 @@ func TestBuildConfigAllowsDisabledDrift(t *testing.T) {
 	v.driftThreshold = -1 // documented: negative disables drift detection
 	if _, err := buildConfig(v); err != nil {
 		t.Fatalf("negative drift threshold rejected: %v", err)
+	}
+}
+
+func TestBuildConfigObservabilityFlags(t *testing.T) {
+	v := goodFlags()
+	v.logLevel = "debug"
+	v.logFormat = "json"
+	v.pprof = true
+	v.traceRing = 64
+	v.slowRequest = -1 // documented: negative disables the slow-request log
+	cfg, err := buildConfig(v)
+	if err != nil {
+		t.Fatalf("observability flags rejected: %v", err)
+	}
+	if cfg.Logger == nil {
+		t.Fatal("config missing the root logger")
+	}
+	if !cfg.Pprof || cfg.TraceRingSize != 64 || cfg.SlowRequest != -1 {
+		t.Fatalf("config = %+v, lost observability flag values", cfg)
 	}
 }

@@ -1,5 +1,7 @@
 package lifecycle
 
+import "log/slog"
+
 // ShadowResult is the promotion gate's verdict: the champion and challenger
 // losses on the held-out tail and whether the challenger earned the serving
 // slot.
@@ -12,6 +14,17 @@ type ShadowResult struct {
 	// Promote is the verdict: the challenger wins on ties (it has seen
 	// strictly more feedback), loses otherwise.
 	Promote bool `json:"promote"`
+}
+
+// LogValue renders the verdict as one structured group, so log lines carry
+// the gate's numbers without callers flattening them by hand.
+func (r ShadowResult) LogValue() slog.Value {
+	return slog.GroupValue(
+		slog.Int("holdout", r.Holdout),
+		slog.Float64("champion_loss", r.ChampionLoss),
+		slog.Float64("challenger_loss", r.ChallengerLoss),
+		slog.Bool("promote", r.Promote),
+	)
 }
 
 // HoldoutSize returns how many records of an n-record training batch the

@@ -1,0 +1,438 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-exposition conformance checking. The daemon hand-rolls
+// its /metrics output (pulling in a client library for three line shapes
+// would be the repository's only external dependency), which means nothing
+// structurally validates it — a malformed series would ship silently and
+// only fail at scrape time. ValidateExposition is the gate: tests feed the
+// full /metrics body through it, so a bad HELP line, an unescaped label,
+// or a non-monotone histogram can never reach a release.
+
+// ValidateExposition parses a Prometheus text-format (version 0.0.4)
+// payload and returns an error describing the first violations found:
+// malformed HELP/TYPE lines, samples without a TYPE header, invalid metric
+// or label names, broken label escaping, unparsable values, duplicate
+// samples, and — for histogram families — missing le labels, buckets out
+// of order, non-cumulative counts, a missing +Inf terminal bucket, or a
+// +Inf bucket disagreeing with _count.
+func ValidateExposition(r io.Reader) error {
+	v := &expoValidator{
+		typed: map[string]string{},
+		seen:  map[string]bool{},
+		hists: map[string]*histSeries{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		v.line(lineNo, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("obs: read exposition: %w", err)
+	}
+	v.finishHistograms()
+	if len(v.errs) == 0 {
+		return nil
+	}
+	const max = 10
+	msgs := v.errs
+	if len(msgs) > max {
+		msgs = append(msgs[:max:max], fmt.Sprintf("... and %d more", len(v.errs)-max))
+	}
+	return fmt.Errorf("obs: exposition not conformant:\n  %s", strings.Join(msgs, "\n  "))
+}
+
+// histSeries accumulates one histogram family's samples for the
+// cross-sample checks that only run once the whole payload is read.
+type histSeries struct {
+	family string
+	// buckets maps the canonical non-le label set to its (le, count) pairs
+	// in exposition order.
+	buckets map[string][]bucketSample
+	sums    map[string]bool
+	counts  map[string]float64
+}
+
+type bucketSample struct {
+	le    float64
+	count float64
+}
+
+type expoValidator struct {
+	errs  []string
+	typed map[string]string // family -> type
+	help  map[string]bool
+	seen  map[string]bool // name + canonical labels -> duplicate detection
+	hists map[string]*histSeries
+	// lastFamily tracks header/sample interleaving: a TYPE line must
+	// precede its family's samples.
+	sampled map[string]bool
+}
+
+func (v *expoValidator) errf(line int, format string, args ...any) {
+	v.errs = append(v.errs, fmt.Sprintf("line %d: %s", line, fmt.Sprintf(format, args...)))
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+var expoTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
+}
+
+func (v *expoValidator) line(n int, line string) {
+	if strings.TrimSpace(line) == "" {
+		return
+	}
+	if strings.HasPrefix(line, "#") {
+		fields := strings.SplitN(line, " ", 4)
+		if len(fields) < 3 || fields[0] != "#" || (fields[1] != "HELP" && fields[1] != "TYPE") {
+			// Other comments are legal and ignored.
+			if len(fields) >= 2 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+				v.errf(n, "malformed %s line %q", fields[1], line)
+			}
+			return
+		}
+		name := fields[2]
+		if !validMetricName(name) {
+			v.errf(n, "%s for invalid metric name %q", fields[1], name)
+			return
+		}
+		if fields[1] == "TYPE" {
+			if len(fields) != 4 || !expoTypes[fields[3]] {
+				v.errf(n, "TYPE %s has invalid type %q", name, strings.Join(fields[3:], " "))
+				return
+			}
+			if _, dup := v.typed[name]; dup {
+				v.errf(n, "duplicate TYPE for %s", name)
+				return
+			}
+			if v.sampled[name] {
+				v.errf(n, "TYPE for %s appears after its samples", name)
+			}
+			v.typed[name] = fields[3]
+			if fields[3] == "histogram" {
+				v.hists[name] = &histSeries{
+					family:  name,
+					buckets: map[string][]bucketSample{},
+					sums:    map[string]bool{},
+					counts:  map[string]float64{},
+				}
+			}
+		} else if len(fields) < 4 || strings.TrimSpace(fields[3]) == "" {
+			v.errf(n, "HELP %s has empty help text", name)
+		}
+		return
+	}
+	v.sample(n, line)
+}
+
+// sample validates one sample line: name{labels} value [timestamp].
+func (v *expoValidator) sample(n int, line string) {
+	name := line
+	labelPart := ""
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			v.errf(n, "unterminated label braces in %q", line)
+			return
+		}
+		labelPart = line[i+1 : j]
+		line = name + line[j+1:]
+	} else if sp := strings.IndexAny(line, " \t"); sp >= 0 {
+		name = line[:sp]
+	}
+	if !validMetricName(name) {
+		v.errf(n, "invalid metric name in sample %q", name)
+		return
+	}
+	rest := strings.TrimPrefix(line, name)
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		v.errf(n, "sample for %s needs 'value [timestamp]', got %q", name, rest)
+		return
+	}
+	value, err := parseExpoValue(fields[0])
+	if err != nil {
+		v.errf(n, "sample for %s has unparsable value %q", name, fields[0])
+		return
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			v.errf(n, "sample for %s has unparsable timestamp %q", name, fields[1])
+			return
+		}
+	}
+	labels, ok := v.parseLabels(n, name, labelPart)
+	if !ok {
+		return
+	}
+
+	family := name
+	suffix := ""
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		trimmed := strings.TrimSuffix(name, s)
+		if trimmed != name {
+			if _, isHist := v.hists[trimmed]; isHist {
+				family, suffix = trimmed, s
+			}
+			break
+		}
+	}
+	typ, declared := v.typed[family]
+	if !declared {
+		v.errf(n, "sample %s has no preceding TYPE header", name)
+		return
+	}
+	v.markSampled(family)
+	if typ == "counter" && value < 0 {
+		v.errf(n, "counter %s has negative value %g", name, value)
+	}
+
+	key := name + "{" + canonicalLabels(labels, "") + "}"
+	if v.seen[key] {
+		v.errf(n, "duplicate sample %s", key)
+		return
+	}
+	v.seen[key] = true
+
+	if typ == "histogram" && suffix != "" {
+		h := v.hists[family]
+		series := canonicalLabels(labels, "le")
+		switch suffix {
+		case "_bucket":
+			le, hasLe := labels["le"]
+			if !hasLe {
+				v.errf(n, "histogram bucket %s is missing its le label", name)
+				return
+			}
+			bound, err := parseExpoValue(le)
+			if err != nil {
+				v.errf(n, "histogram bucket %s has unparsable le=%q", name, le)
+				return
+			}
+			h.buckets[series] = append(h.buckets[series], bucketSample{le: bound, count: value})
+		case "_sum":
+			h.sums[series] = true
+		case "_count":
+			h.counts[series] = value
+		}
+	} else if typ == "histogram" {
+		v.errf(n, "histogram family %s has a bare sample %s (want _bucket/_sum/_count)", family, name)
+	}
+}
+
+func (v *expoValidator) markSampled(family string) {
+	if v.sampled == nil {
+		v.sampled = map[string]bool{}
+	}
+	v.sampled[family] = true
+}
+
+// parseLabels validates the label body and unescapes values.
+func (v *expoValidator) parseLabels(n int, metric, body string) (map[string]string, bool) {
+	labels := map[string]string{}
+	if strings.TrimSpace(body) == "" {
+		return labels, true
+	}
+	rest := body
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			v.errf(n, "sample for %s: label pair %q has no '='", metric, rest)
+			return nil, false
+		}
+		lname := strings.TrimSpace(rest[:eq])
+		if !validLabelName(lname) {
+			v.errf(n, "sample for %s: invalid label name %q", metric, lname)
+			return nil, false
+		}
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			v.errf(n, "sample for %s: label %s value is not quoted", metric, lname)
+			return nil, false
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					v.errf(n, "sample for %s: label %s value ends mid-escape", metric, lname)
+					return nil, false
+				}
+				i++
+				switch rest[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					v.errf(n, "sample for %s: label %s has invalid escape \\%c", metric, lname, rest[i])
+					return nil, false
+				}
+				continue
+			}
+			if c == '"' {
+				rest = rest[i+1:]
+				closed = true
+				break
+			}
+			if c == '\n' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			v.errf(n, "sample for %s: label %s value has no closing quote", metric, lname)
+			return nil, false
+		}
+		if _, dup := labels[lname]; dup {
+			v.errf(n, "sample for %s: duplicate label %s", metric, lname)
+			return nil, false
+		}
+		labels[lname] = val.String()
+		rest = strings.TrimPrefix(strings.TrimSpace(rest), ",")
+		rest = strings.TrimSpace(rest)
+	}
+	return labels, true
+}
+
+// canonicalLabels renders a label map sorted by name, skipping one label
+// (the le of histogram buckets, so bucket series group correctly).
+func canonicalLabels(labels map[string]string, skip string) string {
+	names := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != skip {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, k := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	return b.String()
+}
+
+// parseExpoValue parses a sample or le value, accepting the Prometheus
+// spellings of infinity and NaN.
+func parseExpoValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// finishHistograms runs the whole-family invariants once every sample has
+// been read: per labeled series, le bounds strictly increasing, cumulative
+// counts non-decreasing, a terminal +Inf bucket present and equal to the
+// series' _count, and _sum/_count present.
+func (v *expoValidator) finishHistograms() {
+	families := make([]string, 0, len(v.hists))
+	for f := range v.hists {
+		families = append(families, f)
+	}
+	sort.Strings(families)
+	for _, f := range families {
+		h := v.hists[f]
+		series := make([]string, 0, len(h.buckets))
+		for s := range h.buckets {
+			series = append(series, s)
+		}
+		sort.Strings(series)
+		if len(series) == 0 {
+			// A histogram family with no series yet (no estimators, say) is
+			// fine — the TYPE header alone is valid exposition.
+			continue
+		}
+		for _, s := range series {
+			bs := h.buckets[s]
+			label := fmt.Sprintf("%s{%s}", f, s)
+			for i := 1; i < len(bs); i++ {
+				if !(bs[i].le > bs[i-1].le) {
+					v.errs = append(v.errs, fmt.Sprintf("histogram %s: bucket le=%g does not increase over le=%g", label, bs[i].le, bs[i-1].le))
+				}
+				if bs[i].count < bs[i-1].count {
+					v.errs = append(v.errs, fmt.Sprintf("histogram %s: bucket le=%g count %g below le=%g count %g (not cumulative)", label, bs[i].le, bs[i].count, bs[i-1].le, bs[i-1].count))
+				}
+			}
+			last := bs[len(bs)-1]
+			if !math.IsInf(last.le, 1) {
+				v.errs = append(v.errs, fmt.Sprintf("histogram %s: last bucket le=%g is not +Inf", label, last.le))
+				continue
+			}
+			count, ok := h.counts[s]
+			if !ok {
+				v.errs = append(v.errs, fmt.Sprintf("histogram %s: missing _count sample", label))
+			} else if count != last.count {
+				v.errs = append(v.errs, fmt.Sprintf("histogram %s: +Inf bucket %g != _count %g", label, last.count, count))
+			}
+			if !h.sums[s] {
+				v.errs = append(v.errs, fmt.Sprintf("histogram %s: missing _sum sample", label))
+			}
+		}
+		// _count/_sum series without buckets.
+		for s := range h.counts {
+			if _, ok := h.buckets[s]; !ok {
+				v.errs = append(v.errs, fmt.Sprintf("histogram %s{%s}: _count without _bucket samples", f, s))
+			}
+		}
+	}
+}

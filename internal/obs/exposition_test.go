@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestValidateExpositionAccepts(t *testing.T) {
+	good := `# HELP quickseld_requests_total Requests served.
+# TYPE quickseld_requests_total counter
+quickseld_requests_total 42
+
+# HELP quickseld_estimators Registered estimators.
+# TYPE quickseld_estimators gauge
+quickseld_estimators 2
+# TYPE quickseld_up untyped
+quickseld_up 1
+# HELP quickseld_estimate_duration_seconds Estimate latency.
+# TYPE quickseld_estimate_duration_seconds histogram
+quickseld_estimate_duration_seconds_bucket{estimator="a",method="quicksel",le="0.001"} 5
+quickseld_estimate_duration_seconds_bucket{estimator="a",method="quicksel",le="0.01"} 9
+quickseld_estimate_duration_seconds_bucket{estimator="a",method="quicksel",le="+Inf"} 10
+quickseld_estimate_duration_seconds_sum{estimator="a",method="quicksel"} 0.033
+quickseld_estimate_duration_seconds_count{estimator="a",method="quicksel"} 10
+quickseld_estimate_duration_seconds_bucket{estimator="b\"x\\y",method="st\nz",le="+Inf"} 0
+quickseld_estimate_duration_seconds_sum{estimator="b\"x\\y",method="st\nz"} 0
+quickseld_estimate_duration_seconds_count{estimator="b\"x\\y",method="st\nz"} 0
+# TYPE with_ts gauge
+with_ts{x="1"} 3.14 1700000000000
+`
+	if err := ValidateExposition(strings.NewReader(good)); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload string
+		wantSub string
+	}{
+		{"sample without TYPE", "foo 1\n", "no preceding TYPE"},
+		{"TYPE after samples", "# TYPE a counter\na 1\n# TYPE a gauge\n", "duplicate TYPE"},
+		{"bad type name", "# TYPE a widget\n", "invalid type"},
+		{"bad metric name", "# TYPE 9bad counter\n", "invalid metric name"},
+		{"empty help", "# HELP a\n", "empty help text"},
+		{"negative counter", "# TYPE a counter\na -1\n", "negative value"},
+		{"unparsable value", "# TYPE a gauge\na one\n", "unparsable value"},
+		{"unterminated braces", "# TYPE a gauge\na{x=\"1\" 1\n", "unterminated label braces"},
+		{"unclosed label value", "# TYPE a gauge\na{x=\"1} 1\n", "closing quote"},
+		{"bad escape", `# TYPE a gauge` + "\n" + `a{x="\q"} 1` + "\n", "invalid escape"},
+		{"unquoted label", "# TYPE a gauge\na{x=1} 1\n", "not quoted"},
+		{"bad label name", "# TYPE a gauge\na{__x=\"1\"} 1\n", "invalid label name"},
+		{"duplicate sample", "# TYPE a gauge\na{x=\"1\"} 1\na{x=\"1\"} 2\n", "duplicate sample"},
+		{"duplicate label", "# TYPE a gauge\na{x=\"1\",x=\"2\"} 1\n", "duplicate label"},
+		{
+			"bucket without le",
+			"# TYPE h histogram\nh_bucket{x=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			"missing its le label",
+		},
+		{
+			"missing +Inf",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			"not +Inf",
+		},
+		{
+			"non-monotone le",
+			"# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+			"does not increase",
+		},
+		{
+			"non-cumulative counts",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			"not cumulative",
+		},
+		{
+			"Inf bucket disagrees with count",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 7\n",
+			"!= _count",
+		},
+		{
+			"missing sum",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n",
+			"missing _sum",
+		},
+		{
+			"bare histogram sample",
+			"# TYPE h histogram\nh 5\n",
+			"bare sample",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateExposition(strings.NewReader(tc.payload))
+			if err == nil {
+				t.Fatalf("invalid exposition accepted:\n%s", tc.payload)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseLevelAndNewLogger(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"": slog.LevelInfo, "info": slog.LevelInfo, "debug": slog.LevelDebug,
+		"warn": slog.LevelWarn, "error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel accepted garbage")
+	}
+	if _, err := NewLogger(&bytes.Buffer{}, slog.LevelInfo, "yaml"); err == nil {
+		t.Fatal("NewLogger accepted garbage format")
+	}
+
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, slog.LevelInfo, FormatJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Component(lg, "server").Info("serving", slog.String("addr", ":7075"))
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("JSON log line unparsable: %v (%s)", err, buf.String())
+	}
+	if rec["component"] != "server" || rec["addr"] != ":7075" || rec["msg"] != "serving" {
+		t.Fatalf("log line = %s", buf.String())
+	}
+	buf.Reset()
+	Component(lg, "server").Debug("hidden")
+	if buf.Len() != 0 {
+		t.Fatalf("debug line leaked at info level: %s", buf.String())
+	}
+
+	text, err := NewLogger(&buf, slog.LevelDebug, FormatText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text.Debug("visible")
+	if !strings.Contains(buf.String(), "visible") {
+		t.Fatalf("text logger dropped debug line: %q", buf.String())
+	}
+
+	Discard().Error("dropped") // must not panic, must not write anywhere visible
+	if Component(nil, "x") == nil {
+		t.Fatal("Component(nil) returned nil")
+	}
+}

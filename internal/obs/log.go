@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// Log formats accepted by NewLogger.
+const (
+	FormatText = "text"
+	FormatJSON = "json"
+)
+
+// Formats returns the valid log format names.
+func Formats() []string { return []string{FormatText, FormatJSON} }
+
+// ParseLevel maps a -log-level flag value onto a slog.Level; "" selects
+// Info.
+func ParseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown log level %q (valid levels: debug, info, warn, error)", s)
+	}
+}
+
+// NewLogger builds the daemon's root logger: a text or JSON slog handler
+// writing to w at the given minimum level. Component-scoped loggers are
+// derived from it with Component.
+func NewLogger(w io.Writer, level slog.Level, format string) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case "", FormatText:
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case FormatJSON:
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (valid formats: %v)", format, Formats())
+	}
+}
+
+// Component derives a component-scoped logger: every record it emits
+// carries component=name, so one stream interleaving server, registry,
+// trainer, lifecycle, and wal lines stays filterable. A nil base falls
+// back to slog.Default(), preserving the pre-slog behaviour for library
+// embedders who configured nothing.
+func Component(base *slog.Logger, name string) *slog.Logger {
+	if base == nil {
+		base = slog.Default()
+	}
+	return base.With(slog.String("component", name))
+}
+
+// Discard returns a logger that drops everything — for benchmarks and
+// tests that want instrumented code paths without output.
+func Discard() *slog.Logger { return slog.New(slog.DiscardHandler) }

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Lightweight request tracing. A Span times the named stages of one unit
+// of work — an HTTP request (decode → registry → model → encode) or a
+// background trainer run (flush → solve → gate → swap). Completed spans
+// become immutable Traces recorded into a fixed-size Ring, which feeds the
+// GET /debug/requests endpoint and a threshold-gated slow-request log.
+// This is deliberately not a distributed tracer: no sampling decisions, no
+// wire propagation — just enough structure to answer "where did that slow
+// request spend its time" from a running daemon.
+
+// Stage is one timed phase of a trace.
+type Stage struct {
+	Name string        `json:"stage"`
+	Dur  time.Duration `json:"duration_ns"`
+}
+
+// Trace is one completed unit of work.
+type Trace struct {
+	ID     string        `json:"id"`
+	Kind   string        `json:"kind"` // "http" or "train"
+	Name   string        `json:"name"` // "METHOD /path" or the estimator name
+	Start  time.Time     `json:"start"`
+	Stages []Stage       `json:"stages,omitempty"`
+	Total  time.Duration `json:"total_ns"`
+	Status int           `json:"status,omitempty"` // HTTP status; 0 for train runs
+	Detail string        `json:"detail,omitempty"` // error text or gate verdict
+}
+
+// spanSeq numbers spans within this process; bootID distinguishes
+// processes, so a request ID pasted into a bug report pins down which
+// daemon run produced it.
+var (
+	spanSeq atomic.Uint64
+	bootID  = fmt.Sprintf("%06x", uint64(time.Now().UnixNano())>>12&0xffffff^uint64(os.Getpid())<<8)
+)
+
+// Span is an in-progress trace. All methods are nil-safe no-ops, so
+// tracing can be disabled by simply not creating the span.
+type Span struct {
+	trace Trace
+	last  time.Time
+}
+
+// StartSpan opens a span and assigns its request ID.
+func StartSpan(kind, name string) *Span {
+	now := time.Now()
+	return &Span{
+		trace: Trace{
+			ID:    fmt.Sprintf("%s-%d", bootID, spanSeq.Add(1)),
+			Kind:  kind,
+			Name:  name,
+			Start: now,
+		},
+		last: now,
+	}
+}
+
+// ID returns the span's request ID ("" on a nil span).
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.trace.ID
+}
+
+// Stage closes the current phase: the time since the previous mark (or the
+// span start) is attributed to name.
+func (s *Span) Stage(name string) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.trace.Stages = append(s.trace.Stages, Stage{Name: name, Dur: now.Sub(s.last)})
+	s.last = now
+}
+
+// SetStatus records the HTTP status (or any small result code).
+func (s *Span) SetStatus(code int) {
+	if s != nil {
+		s.trace.Status = code
+	}
+}
+
+// SetDetail attaches a short free-form result note (error text, verdict).
+func (s *Span) SetDetail(d string) {
+	if s != nil {
+		s.trace.Detail = d
+	}
+}
+
+// End closes the span and returns the immutable trace.
+func (s *Span) End() Trace {
+	if s == nil {
+		return Trace{}
+	}
+	s.trace.Total = time.Since(s.trace.Start)
+	return s.trace
+}
+
+// spanKey carries a *Span through a request context.
+type spanKey struct{}
+
+// WithSpan attaches a span to a context.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFrom extracts the span from a context (nil — and thus a no-op span —
+// when the request was not traced).
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// Ring is a fixed-size buffer of the most recent completed traces, plus
+// the slow-request gate: traces whose total meets the threshold are also
+// logged. Record is mutex-protected — it runs once per request after the
+// response is written, never on the estimate/observe inner path.
+type Ring struct {
+	mu     sync.Mutex
+	buf    []Trace
+	pos    int
+	filled bool
+
+	slow time.Duration // 0 disables the slow log
+	log  *slog.Logger  // nil disables the slow log
+}
+
+// NewRing builds a ring holding the last size traces; slow and logger
+// configure the slow-request log (either zero disables it).
+func NewRing(size int, slow time.Duration, logger *slog.Logger) *Ring {
+	if size <= 0 {
+		size = 1
+	}
+	return &Ring{buf: make([]Trace, size), slow: slow, log: logger}
+}
+
+// Record stores a completed trace (nil-safe) and emits the slow-request
+// log line when the trace crosses the threshold.
+func (r *Ring) Record(t Trace) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.pos] = t
+	r.pos++
+	if r.pos == len(r.buf) {
+		r.pos = 0
+		r.filled = true
+	}
+	r.mu.Unlock()
+	if r.log != nil && r.slow > 0 && t.Total >= r.slow {
+		r.log.Warn("slow request",
+			slog.String("id", t.ID),
+			slog.String("kind", t.Kind),
+			slog.String("name", t.Name),
+			slog.Duration("total", t.Total),
+			slog.Int("status", t.Status),
+			slog.String("stages", FormatStages(t.Stages)),
+		)
+	}
+}
+
+// Traces returns the retained traces, newest first.
+func (r *Ring) Traces() []Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.pos
+	if r.filled {
+		n = len(r.buf)
+	}
+	out := make([]Trace, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, r.buf[(r.pos-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// FormatStages renders a stage list as "decode=102µs model=1.2ms" for log
+// lines — one string attr instead of a group per stage.
+func FormatStages(stages []Stage) string {
+	var b strings.Builder
+	for i, st := range stages {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", st.Name, st.Dur)
+	}
+	return b.String()
+}

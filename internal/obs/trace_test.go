@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanStages(t *testing.T) {
+	s := StartSpan("http", "GET /v1/x/estimate")
+	time.Sleep(time.Millisecond)
+	s.Stage("decode")
+	time.Sleep(time.Millisecond)
+	s.Stage("model")
+	s.SetStatus(200)
+	s.SetDetail("ok")
+	tr := s.End()
+	if tr.ID == "" || tr.Kind != "http" || tr.Name != "GET /v1/x/estimate" {
+		t.Fatalf("trace header wrong: %+v", tr)
+	}
+	if len(tr.Stages) != 2 || tr.Stages[0].Name != "decode" || tr.Stages[1].Name != "model" {
+		t.Fatalf("stages = %+v", tr.Stages)
+	}
+	var sum time.Duration
+	for _, st := range tr.Stages {
+		if st.Dur <= 0 {
+			t.Fatalf("stage %s has non-positive duration %v", st.Name, st.Dur)
+		}
+		sum += st.Dur
+	}
+	if tr.Total < sum {
+		t.Fatalf("total %v below stage sum %v", tr.Total, sum)
+	}
+	if tr.Status != 200 || tr.Detail != "ok" {
+		t.Fatalf("status/detail lost: %+v", tr)
+	}
+}
+
+func TestSpanIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := StartSpan("http", "x").ID()
+		if seen[id] {
+			t.Fatalf("duplicate span id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestNilSpanSafe(t *testing.T) {
+	var s *Span
+	s.Stage("x")
+	s.SetStatus(1)
+	s.SetDetail("d")
+	if id := s.ID(); id != "" {
+		t.Fatalf("nil span id = %q", id)
+	}
+	if tr := s.End(); tr.ID != "" {
+		t.Fatalf("nil span end = %+v", tr)
+	}
+}
+
+func TestSpanContext(t *testing.T) {
+	if got := SpanFrom(context.Background()); got != nil {
+		t.Fatalf("empty context yielded span %+v", got)
+	}
+	s := StartSpan("http", "x")
+	ctx := WithSpan(context.Background(), s)
+	if got := SpanFrom(ctx); got != s {
+		t.Fatalf("span did not round-trip the context")
+	}
+}
+
+func TestRingWrapAndOrder(t *testing.T) {
+	r := NewRing(3, 0, nil)
+	for i := 1; i <= 5; i++ {
+		r.Record(Trace{ID: string(rune('0' + i))})
+	}
+	got := r.Traces()
+	if len(got) != 3 {
+		t.Fatalf("ring holds %d traces, want 3", len(got))
+	}
+	// Newest first: 5, 4, 3.
+	for i, want := range []string{"5", "4", "3"} {
+		if got[i].ID != want {
+			t.Fatalf("traces[%d].ID = %q, want %q (full: %+v)", i, got[i].ID, want, got)
+		}
+	}
+	var nilRing *Ring
+	nilRing.Record(Trace{})
+	if tr := nilRing.Traces(); tr != nil {
+		t.Fatalf("nil ring traces = %+v", tr)
+	}
+}
+
+func TestRingSlowLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	r := NewRing(8, 10*time.Millisecond, logger)
+	r.Record(Trace{ID: "fast", Total: time.Millisecond})
+	if buf.Len() != 0 {
+		t.Fatalf("fast trace logged: %s", buf.String())
+	}
+	r.Record(Trace{
+		ID: "slow", Kind: "http", Name: "POST /v1/x/observe", Total: 50 * time.Millisecond,
+		Stages: []Stage{{Name: "decode", Dur: time.Millisecond}, {Name: "model", Dur: 49 * time.Millisecond}},
+		Status: 202,
+	})
+	if buf.Len() == 0 {
+		t.Fatal("slow trace not logged")
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("slow log line is not JSON: %v (%s)", err, buf.String())
+	}
+	if rec["id"] != "slow" || rec["level"] != "WARN" {
+		t.Fatalf("slow log line = %s", buf.String())
+	}
+	stages, _ := rec["stages"].(string)
+	if !strings.Contains(stages, "decode=") || !strings.Contains(stages, "model=") {
+		t.Fatalf("slow log stages = %q", stages)
+	}
+}

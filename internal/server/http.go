@@ -6,9 +6,12 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/http/pprof"
+	"strings"
 	"sync/atomic"
 
 	"quicksel"
+	"quicksel/internal/obs"
 )
 
 // Server is the HTTP facade over a Registry. Build one with New, mount it
@@ -56,6 +59,18 @@ func New(cfg Config) (*Server, error) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	if cfg.Pprof {
+		// Opt-in only: profiles expose call stacks and heap contents.
+		// pprof.Index serves the named profiles (heap, goroutine, ...)
+		// under the trailing-slash pattern.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s, nil
 }
 
@@ -66,8 +81,67 @@ func (s *Server) Registry() *Registry { return s.reg }
 // Close flushes, persists, and stops the background worker.
 func (s *Server) Close() error { return s.reg.Close() }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. API requests (/v1/*) are traced: each
+// gets a request ID (echoed in X-Request-Id), its handler marks stages
+// (decode, model, encode) on the span, and the completed trace lands in
+// the ring behind GET /debug/requests plus the threshold-gated slow log.
+// Operational endpoints (/metrics, probes, /debug) are served untraced so
+// scrapes don't wash real traffic out of the ring.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !strings.HasPrefix(r.URL.Path, "/v1/") {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	sp := obs.StartSpan("http", r.Method+" "+r.URL.Path)
+	w.Header().Set("X-Request-Id", sp.ID())
+	sw := &statusWriter{ResponseWriter: w}
+	s.mux.ServeHTTP(sw, r.WithContext(obs.WithSpan(r.Context(), sp)))
+	code := sw.code
+	if code == 0 {
+		code = http.StatusOK
+	}
+	sp.SetStatus(code)
+	s.reg.ring.Record(sp.End())
+}
+
+// statusWriter captures the response status for the request trace.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// handleReadyz answers the readiness probe: 200 once the snapshot is
+// restored, the write-ahead log replayed, and the trainer running; 503
+// otherwise (including while draining), with the per-component flags in
+// the body either way.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	rd := s.reg.Readiness()
+	status := http.StatusOK
+	if !rd.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, status, rd)
+}
+
+// handleDebugRequests dumps the completed-trace ring, newest first: request
+// IDs, stage timings, statuses — where a slow request spent its time.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"traces": s.reg.ring.Traces()})
+}
 
 // errorBody is the JSON error envelope of every non-2xx response.
 type errorBody struct {
@@ -281,7 +355,10 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		}
 		batch[i] = Observation{Where: o.Where, Sel: *o.Selectivity}
 	}
+	sp := obs.SpanFrom(r.Context())
+	sp.Stage("decode")
 	backlog, accepted, err := s.reg.ObserveBatch(name, batch)
+	sp.Stage("model")
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -292,6 +369,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusTooManyRequests // buffer full; client should back off
 	}
 	s.writeJSON(w, status, resp)
+	sp.Stage("encode")
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -302,7 +380,10 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, fmt.Errorf("missing where query parameter"))
 		return
 	}
+	sp := obs.SpanFrom(r.Context())
+	sp.Stage("decode")
 	sel, err := s.reg.Estimate(name, where)
+	sp.Stage("model")
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -312,6 +393,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		"where":       where,
 		"selectivity": sel,
 	})
+	sp.Stage("encode")
 }
 
 // estimateBatchRequest is the body of POST /v1/{name}/estimate/batch.
@@ -351,7 +433,10 @@ func (s *Server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	sp := obs.SpanFrom(r.Context())
+	sp.Stage("decode")
 	sels, err := s.reg.EstimateBatch(name, req.Wheres)
+	sp.Stage("model")
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -360,6 +445,7 @@ func (s *Server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 		"estimator":     name,
 		"selectivities": sels,
 	})
+	sp.Stage("encode")
 }
 
 func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {

@@ -4,7 +4,20 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+
+	"quicksel/internal/obs"
 )
+
+// clampSub returns a-b, clamped at zero. The watermark gauges subtract two
+// counters sampled without a common lock, so the subtrahend can be read
+// momentarily ahead of the minuend; unguarded uint64 subtraction would wrap
+// that transient into a ~2^64 lag spike.
+func clampSub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
 
 // handleMetrics renders the daemon's operational state in the Prometheus
 // text exposition format (hand-rolled; the format is three trivial line
@@ -54,15 +67,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		gauge("quickseld_wal_size_bytes", "Retained log bytes on disk.", uint64(ws.SizeBytes))
 		gauge("quickseld_wal_last_seq", "Highest assigned log sequence number.", ws.LastSeq)
 		gauge("quickseld_wal_durable_seq", "Highest acknowledged-durable sequence number.", ws.DurableSeq)
-		gauge("quickseld_wal_sync_lag", "Acknowledged records not yet fsynced (lost only with the machine, not the process).", ws.LastSeq-ws.SyncedSeq)
-		covered := s.reg.walLastCovered.Load()
-		lag := ws.LastSeq
-		if covered < lag {
-			lag -= covered
-		} else {
-			lag = 0
-		}
-		gauge("quickseld_wal_snapshot_lag", "Records the last snapshot does not cover (the replay cost of a crash right now).", lag)
+		gauge("quickseld_wal_sync_lag", "Acknowledged records not yet fsynced (lost only with the machine, not the process).", clampSub(ws.LastSeq, ws.SyncedSeq))
+		gauge("quickseld_wal_snapshot_lag", "Records the last snapshot does not cover (the replay cost of a crash right now).", clampSub(ws.LastSeq, s.reg.walLastCovered.Load()))
 	}
 
 	infos := s.reg.List()
@@ -125,6 +131,49 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		func(in EstimatorInfo) string { return fmt.Sprintf("%g", in.WindowMAE) })
 	perEst("quickseld_window_mean_qerror", "Mean q-error over the rolling realized-accuracy window.", "gauge",
 		func(in EstimatorInfo) string { return fmt.Sprintf("%g", in.WindowQErr) })
+
+	// Latency histogram families, exported in full (the log-linear buckets
+	// behind the percentile summaries in EstimatorInfo). Per-estimator
+	// families label every series with estimator+method; an empty family is
+	// a bare header, which is valid exposition.
+	states := s.reg.states()
+	labels := make([]string, len(states))
+	for i, st := range states {
+		st.mu.Lock()
+		method := st.serving.Method()
+		st.mu.Unlock()
+		labels[i] = fmt.Sprintf("estimator=%q,method=%q", st.name, method)
+	}
+	perEstHist := func(name, help string, snap func(*estimatorState) obs.HistSnapshot) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		for i, st := range states {
+			snap(st).WritePrometheus(&b, name, labels[i])
+		}
+	}
+	perEstHist("quickseld_observe_duration_seconds", "Observe ingest latency, decode to durable ack.",
+		func(st *estimatorState) obs.HistSnapshot { return st.observeHist.Snapshot() })
+	perEstHist("quickseld_estimate_duration_seconds", "Single-estimate latency.",
+		func(st *estimatorState) obs.HistSnapshot { return st.estimateHist.Snapshot() })
+	perEstHist("quickseld_estimate_batch_duration_seconds", "Batch-estimate latency, whole batch.",
+		func(st *estimatorState) obs.HistSnapshot { return st.batchHist.Snapshot() })
+	perEstHist("quickseld_train_duration_seconds", "Background training run latency, flush to swap.",
+		func(st *estimatorState) obs.HistSnapshot { return st.trainHist.Snapshot() })
+
+	hist := func(name, help string, snap obs.HistSnapshot) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		snap.WritePrometheus(&b, name, "")
+	}
+	hist("quickseld_snapshot_duration_seconds", "Registry snapshot serialize-and-rename latency.", s.reg.snapshotHist.Snapshot())
+	if s.reg.wal != nil {
+		hist("quickseld_wal_append_duration_seconds", "Group-commit segment write latency.", s.reg.walAppendHist.Snapshot())
+		hist("quickseld_wal_fsync_duration_seconds", "Segment fsync latency.", s.reg.walFsyncHist.Snapshot())
+	}
+
+	ready := uint64(0)
+	if s.reg.Readiness().Ready {
+		ready = 1
+	}
+	gauge("quickseld_ready", "Whether the daemon is ready to serve (snapshot restored, WAL replayed, trainer running).", ready)
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)

@@ -24,7 +24,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"os"
 	"path/filepath"
@@ -36,6 +36,7 @@ import (
 
 	"quicksel"
 	"quicksel/internal/lifecycle"
+	"quicksel/internal/obs"
 	"quicksel/internal/wal"
 )
 
@@ -43,6 +44,12 @@ import (
 const (
 	DefaultTrainInterval = 250 * time.Millisecond
 	DefaultBufferSize    = 4096
+	// DefaultTraceRingSize is the completed-trace ring capacity behind
+	// GET /debug/requests.
+	DefaultTraceRingSize = 256
+	// DefaultSlowRequest is the slow-request log threshold: completed
+	// traces at least this slow are logged at Warn.
+	DefaultSlowRequest = 500 * time.Millisecond
 )
 
 // Config tunes the serving registry. The zero value of every field selects
@@ -86,6 +93,23 @@ type Config struct {
 	// WALSyncInterval is the background fsync cadence under the "interval"
 	// policy (0 = the wal package default, 100ms).
 	WALSyncInterval time.Duration
+
+	// Logger is the base structured logger every daemon component derives
+	// its scoped logger from (component=registry, trainer, wal, server,
+	// trace). Nil falls back to slog.Default(), which writes through the
+	// stdlib log package — the pre-slog destination.
+	Logger *slog.Logger
+	// TraceRingSize is the capacity of the completed-trace ring behind
+	// GET /debug/requests (0 = DefaultTraceRingSize).
+	TraceRingSize int
+	// SlowRequest is the slow-trace log threshold: completed request and
+	// train traces at least this slow are logged with their stage
+	// breakdown. 0 selects DefaultSlowRequest; negative disables the log.
+	SlowRequest time.Duration
+	// Pprof mounts the net/http/pprof profiling handlers under
+	// /debug/pprof/. Off by default: profiles expose call stacks and heap
+	// contents, so the daemon serves them only when asked to.
+	Pprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +118,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BufferSize <= 0 {
 		c.BufferSize = DefaultBufferSize
+	}
+	if c.TraceRingSize <= 0 {
+		c.TraceRingSize = DefaultTraceRingSize
+	}
+	if c.SlowRequest == 0 {
+		c.SlowRequest = DefaultSlowRequest
 	}
 	return c
 }
@@ -151,6 +181,14 @@ type estimatorState struct {
 
 	estimateTotal atomic.Uint64 // estimates served (atomic: off the mu path)
 	trainMu       sync.Mutex    // serializes training runs and rollbacks; never held on the estimate path
+
+	// Latency histograms (lock-free atomics; recorded outside mu, exported
+	// on /metrics with estimator+method labels and summarized as
+	// percentiles in EstimatorInfo).
+	observeHist  obs.Histogram // ObserveParsed, decode to durable ack
+	estimateHist obs.Histogram // single Estimate
+	batchHist    obs.Histogram // EstimateBatch, whole batch
+	trainHist    obs.Histogram // flushAndTrain runs
 }
 
 // Registry is the concurrent estimator registry behind the HTTP API. Create
@@ -170,6 +208,26 @@ type Registry struct {
 
 	// wal is the write-ahead observation log (nil when disabled).
 	wal *wal.Log
+
+	// Component-scoped structured loggers, all derived from Config.Logger.
+	log      *slog.Logger // component=registry: snapshots, recovery, rollbacks
+	trainLog *slog.Logger // component=trainer: train runs, promotions, gate verdicts
+	walLog   *slog.Logger // component=wal: replay progress and skips
+
+	// ring retains the most recent completed request and train traces for
+	// GET /debug/requests and the slow-request log.
+	ring *obs.Ring
+
+	// Registry-wide latency histograms (the per-estimator ones live on
+	// estimatorState).
+	walAppendHist obs.Histogram // group-commit segment writes
+	walFsyncHist  obs.Histogram // segment fsyncs
+	snapshotHist  obs.Histogram // snapshot serialize-and-rename
+
+	// Readiness state behind GET /readyz; see Readiness.
+	snapReady atomic.Bool
+	walReady  atomic.Bool
+	trainerUp atomic.Bool
 
 	// Registry-wide counters (atomics; hot paths don't take mu).
 	snapshotsSaved   atomic.Uint64
@@ -199,16 +257,27 @@ func NewRegistry(cfg Config) (*Registry, error) {
 		driftWake:  make(chan struct{}, 1),
 		done:       make(chan struct{}),
 	}
+	reg.log = obs.Component(reg.cfg.Logger, "registry")
+	reg.trainLog = obs.Component(reg.cfg.Logger, "trainer")
+	reg.walLog = obs.Component(reg.cfg.Logger, "wal")
+	slow := reg.cfg.SlowRequest
+	if slow < 0 {
+		slow = 0 // negative SlowRequest disables the slow-trace log
+	}
+	reg.ring = obs.NewRing(reg.cfg.TraceRingSize, slow, obs.Component(reg.cfg.Logger, "trace"))
 	if reg.cfg.SnapshotPath != "" {
 		if err := reg.loadSnapshotFile(reg.cfg.SnapshotPath); err != nil {
 			return nil, err
 		}
 	}
+	reg.snapReady.Store(true)
 	if reg.cfg.WALDir != "" {
 		wlog, err := wal.Open(reg.cfg.WALDir, wal.Options{
 			SegmentSize:  reg.cfg.WALSegmentSize,
 			Sync:         wal.Policy(reg.cfg.WALSync),
 			SyncInterval: reg.cfg.WALSyncInterval,
+			AppendHist:   &reg.walAppendHist,
+			FsyncHist:    &reg.walFsyncHist,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("server: %w", err)
@@ -219,9 +288,34 @@ func NewRegistry(cfg Config) (*Registry, error) {
 			return nil, err
 		}
 	}
+	reg.walReady.Store(true)
 	reg.wg.Add(1)
 	go reg.trainLoop()
 	return reg, nil
+}
+
+// Readiness is the boot state behind GET /readyz: the registry is ready
+// once the snapshot is restored, the write-ahead log is replayed, and the
+// background trainer is running.
+type Readiness struct {
+	Ready            bool `json:"ready"`
+	SnapshotRestored bool `json:"snapshot_restored"`
+	WALReplayed      bool `json:"wal_replayed"`
+	TrainerRunning   bool `json:"trainer_running"`
+}
+
+// Readiness reports the registry's boot progress. All components report
+// true for the life of a healthy registry; TrainerRunning drops back to
+// false when Close stops the worker, so a draining daemon fails its
+// readiness probe before it stops answering.
+func (r *Registry) Readiness() Readiness {
+	rd := Readiness{
+		SnapshotRestored: r.snapReady.Load(),
+		WALReplayed:      r.walReady.Load(),
+		TrainerRunning:   r.trainerUp.Load(),
+	}
+	rd.Ready = rd.SnapshotRestored && rd.WALReplayed && rd.TrainerRunning
+	return rd
 }
 
 // Close stops the background worker, flushes and trains every estimator
@@ -464,6 +558,8 @@ func (r *Registry) ObserveParsed(name string, recs []ParsedObservation) (estimat
 	if err != nil {
 		return nil, 0, 0, err
 	}
+	start := time.Now()
+	defer func() { st.observeHist.Observe(time.Since(start)) }()
 	st.mu.Lock()
 	serving := st.serving
 	st.mu.Unlock()
@@ -535,6 +631,7 @@ func (r *Registry) ObserveParsed(name string, recs []ParsedObservation) (estimat
 		// A drift alarm means the serving model is measurably stale: wake
 		// the trainer for an immediate pass instead of waiting out the
 		// debounce interval. The alarm is also logged for the audit trail.
+		r.log.Debug("drift alarm; waking trainer", slog.String("estimator", name))
 		r.appendWALEvent(walRecDrift, walNamed{Name: name})
 		select {
 		case r.driftWake <- struct{}{}:
@@ -554,6 +651,8 @@ func (r *Registry) Estimate(name, where string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	start := time.Now()
+	defer func() { st.estimateHist.Observe(time.Since(start)) }()
 	st.mu.Lock()
 	est := st.serving
 	st.mu.Unlock()
@@ -575,6 +674,8 @@ func (r *Registry) EstimateBatch(name string, wheres []string) ([]float64, error
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
+	defer func() { st.batchHist.Observe(time.Since(start)) }()
 	st.mu.Lock()
 	est := st.serving
 	st.mu.Unlock()
@@ -620,6 +721,8 @@ func (r *Registry) kick() {
 // The loop also optionally persists snapshots on SnapshotInterval.
 func (r *Registry) trainLoop() {
 	defer r.wg.Done()
+	r.trainerUp.Store(true)
+	defer r.trainerUp.Store(false)
 	ticker := time.NewTicker(r.cfg.TrainInterval)
 	defer ticker.Stop()
 	var snapC <-chan time.Time
@@ -652,6 +755,7 @@ func (r *Registry) trainLoop() {
 		case <-snapC:
 			if err := r.SaveSnapshot(); err != nil {
 				r.snapshotErrs.Add(1)
+				r.log.Error("periodic snapshot failed", slog.Any("error", err))
 			}
 		}
 	}
@@ -712,10 +816,13 @@ func (r *Registry) flushAndTrain(st *estimatorState) error {
 		st.mu.Unlock()
 		return nil
 	}
+	start := time.Now()
+	sp := obs.StartSpan("train", st.name)
 	batch := st.pending
 	st.pending = nil
 	base := st.serving
 	st.mu.Unlock()
+	sp.Stage("flush")
 
 	holdN := 0
 	// Shadow-score only when the champion has learned something: an
@@ -728,7 +835,6 @@ func (r *Registry) flushAndTrain(st *estimatorState) error {
 	}
 	head, tail := batch[:len(batch)-holdN], batch[len(batch)-holdN:]
 
-	start := time.Now()
 	// Clone via the snapshot API: the serving model keeps answering
 	// estimates while the clone absorbs the batch and pays the QP cost.
 	// Untracked: realized accuracy lives in the registry's own tracker
@@ -746,6 +852,7 @@ func (r *Registry) flushAndTrain(st *estimatorState) error {
 	if err == nil {
 		err = clone.Train()
 	}
+	sp.Stage("solve")
 
 	// Shadow-score the challenger against the champion on the held-out
 	// tail; neither model has trained on these records.
@@ -770,6 +877,7 @@ func (r *Registry) flushAndTrain(st *estimatorState) error {
 			promote = res.Promote
 		}
 	}
+	sp.Stage("gate")
 	// A winning challenger absorbs the held-out tail before serving: the
 	// promoted model has trained on the whole batch, the scored model only
 	// on the head.
@@ -784,21 +892,11 @@ func (r *Registry) flushAndTrain(st *estimatorState) error {
 		}
 	}
 	if err != nil {
-		r.requeue(st, batch)
-		st.mu.Lock()
-		st.trainErrors++
-		st.lastTrainErr = err.Error()
-		st.mu.Unlock()
-		return err
+		return r.trainFailed(st, sp, batch, start, err)
 	}
 	payload, err := json.Marshal(clone.Snapshot())
 	if err != nil {
-		r.requeue(st, batch)
-		st.mu.Lock()
-		st.trainErrors++
-		st.lastTrainErr = err.Error()
-		st.mu.Unlock()
-		return err
+		return r.trainFailed(st, sp, batch, start, err)
 	}
 	dur := time.Since(start)
 
@@ -830,12 +928,52 @@ func (r *Registry) flushAndTrain(st *estimatorState) error {
 	st.lastTrainDur = dur
 	st.lastTrainAt = time.Now()
 	st.mu.Unlock()
+	sp.Stage("swap")
+	st.trainHist.Observe(dur)
 	typ := walRecPromotion
+	verdict := "promoted"
 	if !promote {
 		typ = walRecRejection
+		verdict = "rejected"
+	}
+	sp.SetDetail(fmt.Sprintf("%s version %d (batch %d)", verdict, v.ID, len(batch)))
+	r.ring.Record(sp.End())
+	ev := r.trainLog.With(
+		slog.String("estimator", st.name),
+		slog.Int("version", v.ID),
+		slog.Int("batch", len(batch)),
+		slog.Duration("duration", dur),
+	)
+	if gate != nil {
+		ev = ev.With(slog.Any("gate", *gate))
+	}
+	if promote {
+		ev.Debug("model promoted")
+	} else {
+		ev.Debug("challenger rejected")
 	}
 	r.appendWALEvent(typ, walVersionEvent{Name: st.name, Version: v.ID})
 	return nil
+}
+
+// trainFailed is flushAndTrain's error tail: requeue the batch, record the
+// failure in the estimator's stats, and close out the telemetry (span,
+// histogram, log) so failed runs are as visible as successful ones.
+func (r *Registry) trainFailed(st *estimatorState, sp *obs.Span, batch []pendingObs, start time.Time, err error) error {
+	r.requeue(st, batch)
+	st.mu.Lock()
+	st.trainErrors++
+	st.lastTrainErr = err.Error()
+	st.mu.Unlock()
+	st.trainHist.Observe(time.Since(start))
+	sp.SetDetail("error: " + err.Error())
+	r.ring.Record(sp.End())
+	r.trainLog.Warn("training failed; batch requeued",
+		slog.String("estimator", st.name),
+		slog.Int("batch", len(batch)),
+		slog.Any("error", err),
+	)
+	return err
 }
 
 // Rollback swaps the named estimator's serving slot to an archived version:
@@ -892,6 +1030,7 @@ func (r *Registry) Rollback(name string, versionID int) (lifecycle.Version, erro
 	st.rollbacks++
 	st.tracker.ResetDrift()
 	st.mu.Unlock()
+	r.log.Info("rollback served", slog.String("estimator", name), slog.Int("version", v.ID))
 	r.appendWALEvent(walRecRollback, walVersionEvent{Name: name, Version: v.ID})
 	return v.Meta(), nil
 }
@@ -1001,9 +1140,21 @@ type EstimatorInfo struct {
 	DriftEvents uint64  `json:"drift_events_total"`
 	WindowMAE   float64 `json:"window_mae"`
 	WindowQErr  float64 `json:"window_mean_qerror"`
+
+	// Daemon-side latency percentiles in seconds (0 until the path has
+	// served a request), read off the same log-linear histograms /metrics
+	// exports in full.
+	EstimateP50 float64 `json:"estimate_p50_seconds"`
+	EstimateP95 float64 `json:"estimate_p95_seconds"`
+	EstimateP99 float64 `json:"estimate_p99_seconds"`
+	ObserveP50  float64 `json:"observe_p50_seconds"`
+	ObserveP95  float64 `json:"observe_p95_seconds"`
+	ObserveP99  float64 `json:"observe_p99_seconds"`
 }
 
 func (r *Registry) info(st *estimatorState) EstimatorInfo {
+	est := st.estimateHist.Snapshot()
+	obsn := st.observeHist.Snapshot()
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	track := st.tracker.Report()
@@ -1028,6 +1179,12 @@ func (r *Registry) info(st *estimatorState) EstimatorInfo {
 		DriftEvents:   track.DriftEvents,
 		WindowMAE:     track.MAE,
 		WindowQErr:    track.MeanQError,
+		EstimateP50:   est.Quantile(0.50).Seconds(),
+		EstimateP95:   est.Quantile(0.95).Seconds(),
+		EstimateP99:   est.Quantile(0.99).Seconds(),
+		ObserveP50:    obsn.Quantile(0.50).Seconds(),
+		ObserveP95:    obsn.Quantile(0.95).Seconds(),
+		ObserveP99:    obsn.Quantile(0.99).Seconds(),
 	}
 }
 
@@ -1106,6 +1263,9 @@ func (r *Registry) SaveSnapshot() error {
 			return err
 		}
 	}
+	// Time the snapshot itself — capture, serialize, write, rename — not
+	// the flush above (those runs land in the train histogram).
+	start := time.Now()
 	out := snapshotFile{
 		Version:    snapshotFileVersion,
 		Estimators: map[string]*quicksel.Snapshot{},
@@ -1191,6 +1351,12 @@ func (r *Registry) SaveSnapshot() error {
 		return err
 	}
 	r.snapshotsSaved.Add(1)
+	r.snapshotHist.Observe(time.Since(start))
+	r.log.Debug("snapshot saved",
+		slog.Int("estimators", len(out.Estimators)),
+		slog.Int("bytes", len(data)),
+		slog.Duration("duration", time.Since(start)),
+	)
 	if r.wal != nil && out.Wal != nil {
 		// The snapshot is durable: log segments it makes redundant can go.
 		// Compaction failure is not a snapshot failure — the log is merely
@@ -1227,10 +1393,12 @@ func (r *Registry) loadSnapshotFile(path string) error {
 	setAside := func(reason string) {
 		corrupt := path + ".corrupt"
 		if rerr := os.Rename(path, corrupt); rerr != nil {
-			log.Printf("server: snapshot %s: %s; could not set aside (%v), continuing without it", path, reason, rerr)
+			r.log.Warn("snapshot unusable; could not set aside, continuing without it",
+				slog.String("path", path), slog.String("reason", reason), slog.Any("error", rerr))
 			return
 		}
-		log.Printf("server: snapshot %s: %s; moved to %s, recovering from the write-ahead log", path, reason, corrupt)
+		r.log.Warn("snapshot unusable; set aside, recovering from the write-ahead log",
+			slog.String("path", path), slog.String("reason", reason), slog.String("moved_to", corrupt))
 	}
 	var in snapshotFile
 	if err := json.Unmarshal(data, &in); err != nil {
@@ -1244,21 +1412,25 @@ func (r *Registry) loadSnapshotFile(path string) error {
 	if in.Wal != nil {
 		r.walLastCovered.Store(in.Wal.Covered)
 	}
+	skip := func(name string, err error) {
+		r.log.Warn("snapshot restore: skipping estimator",
+			slog.String("path", path), slog.String("estimator", name), slog.Any("error", err))
+	}
 	for name, snap := range in.Estimators {
 		if !nameRE.MatchString(name) {
-			log.Printf("server: snapshot %s: skipping invalid estimator name %q", path, name)
+			skip(name, fmt.Errorf("invalid estimator name"))
 			continue
 		}
 		est, err := quicksel.RestoreUntracked(snap)
 		if err != nil {
-			log.Printf("server: snapshot %s: skipping estimator %q: %v", path, name, err)
+			skip(name, err)
 			continue
 		}
 		entry := in.Lifecycles[name] // nil for v1/v2 files: fresh lifecycle state
 		if entry == nil {
 			st, _, err := r.newState(name, est, lifecycle.OriginRestored)
 			if err != nil {
-				log.Printf("server: snapshot %s: skipping estimator %q: %v", path, name, err)
+				skip(name, err)
 				continue
 			}
 			r.estimators[name] = st
@@ -1270,7 +1442,7 @@ func (r *Registry) loadSnapshotFile(path string) error {
 		// twice).
 		payload, err := json.Marshal(snap)
 		if err != nil {
-			log.Printf("server: snapshot %s: skipping estimator %q: re-encode: %v", path, name, err)
+			skip(name, fmt.Errorf("re-encode: %w", err))
 			continue
 		}
 		r.estimators[name] = &estimatorState{

@@ -4,7 +4,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"sync"
 
@@ -162,6 +162,11 @@ func (r *Registry) appendWALEvent(typ byte, v any) {
 // serving with one lost record beats refusing to serve at all.
 func (r *Registry) replayWAL() error {
 	var replayed, skipped uint64
+	skip := func(seq uint64, what string, err error) {
+		r.walLog.Warn("replay: skipping record",
+			slog.Uint64("seq", seq), slog.String("record", what), slog.Any("error", err))
+		skipped++
+	}
 	// Everything at or below the snapshot's covered watermark is already
 	// reflected in the restored registry. Compaction only deletes whole
 	// segments, so covered records can survive in the retained prefix —
@@ -174,8 +179,7 @@ func (r *Registry) replayWAL() error {
 		case walRecObserve:
 			name, pred, sel, err := decodeObservePayload(rec.Payload)
 			if err != nil {
-				log.Printf("server: wal replay: skipping undecodable observe record %d: %v", rec.Seq, err)
-				skipped++
+				skip(rec.Seq, "observe", err)
 				return nil
 			}
 			if r.replayObservation(rec.Seq, name, pred, sel) {
@@ -184,8 +188,7 @@ func (r *Registry) replayWAL() error {
 		case walRecCreate:
 			var c walCreate
 			if err := json.Unmarshal(rec.Payload, &c); err != nil {
-				log.Printf("server: wal replay: skipping undecodable create record %d: %v", rec.Seq, err)
-				skipped++
+				skip(rec.Seq, "create", err)
 				return nil
 			}
 			if _, ok := r.estimators[c.Name]; ok {
@@ -193,20 +196,17 @@ func (r *Registry) replayWAL() error {
 			}
 			var snap quicksel.Snapshot
 			if err := json.Unmarshal(c.Snapshot, &snap); err != nil {
-				log.Printf("server: wal replay: skipping create %q (record %d): %v", c.Name, rec.Seq, err)
-				skipped++
+				skip(rec.Seq, "create "+c.Name, err)
 				return nil
 			}
 			est, err := quicksel.RestoreUntracked(&snap)
 			if err != nil {
-				log.Printf("server: wal replay: skipping create %q (record %d): %v", c.Name, rec.Seq, err)
-				skipped++
+				skip(rec.Seq, "create "+c.Name, err)
 				return nil
 			}
 			st, _, err := r.newState(c.Name, est, lifecycle.OriginInitial)
 			if err != nil {
-				log.Printf("server: wal replay: skipping create %q (record %d): %v", c.Name, rec.Seq, err)
-				skipped++
+				skip(rec.Seq, "create "+c.Name, err)
 				return nil
 			}
 			st.walSeq, st.walConsumed = rec.Seq, rec.Seq
@@ -215,8 +215,7 @@ func (r *Registry) replayWAL() error {
 		case walRecDrop:
 			var d walNamed
 			if err := json.Unmarshal(rec.Payload, &d); err != nil {
-				log.Printf("server: wal replay: skipping undecodable drop record %d: %v", rec.Seq, err)
-				skipped++
+				skip(rec.Seq, "drop", err)
 				return nil
 			}
 			delete(r.estimators, d.Name)
@@ -232,6 +231,13 @@ func (r *Registry) replayWAL() error {
 	}
 	r.walReplayed.Add(replayed)
 	r.walReplaySkipped.Add(skipped)
+	if replayed > 0 || skipped > 0 {
+		r.walLog.Info("replay complete",
+			slog.Uint64("replayed", replayed),
+			slog.Uint64("skipped", skipped),
+			slog.Uint64("covered", covered),
+		)
+	}
 	if r.anyPending() {
 		r.kick() // wake is buffered; the worker starts right after replay
 	}

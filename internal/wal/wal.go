@@ -61,6 +61,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"quicksel/internal/obs"
 )
 
 // Policy names the fsync discipline of a Log.
@@ -126,6 +128,14 @@ type Options struct {
 	// SyncInterval is the background fsync cadence under SyncInterval
 	// (default 100ms).
 	SyncInterval time.Duration
+
+	// AppendHist and FsyncHist, when non-nil, record the latency of
+	// group-commit segment writes and of fsync(2) calls — the two syscalls
+	// on the durability path. Nil skips recording (obs histograms are
+	// nil-safe), so embedders pay nothing for telemetry they did not ask
+	// for.
+	AppendHist *obs.Histogram
+	FsyncHist  *obs.Histogram
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -534,7 +544,10 @@ func (l *Log) periodicSync() {
 	if !needed {
 		return
 	}
-	if err := f.Sync(); err != nil {
+	start := time.Now()
+	err := f.Sync()
+	l.opts.FsyncHist.Observe(time.Since(start))
+	if err != nil {
 		return
 	}
 	l.mu.Lock()
@@ -583,7 +596,9 @@ func (l *Log) flush(syncDue bool) {
 	if len(buf) > 0 {
 		err = l.maybeRotate(first)
 		if err == nil {
+			start := time.Now()
 			_, err = l.f.Write(buf)
+			l.opts.AppendHist.Observe(time.Since(start))
 		}
 		if err == nil {
 			wrote = true
@@ -607,7 +622,9 @@ func (l *Log) flush(syncDue bool) {
 		switch {
 		case l.opts.Sync == SyncAlways && wrote,
 			l.opts.Sync == SyncInterval && syncDue && l.unsynced():
+			start := time.Now()
 			err = l.f.Sync()
+			l.opts.FsyncHist.Observe(time.Since(start))
 			synced = err == nil
 		}
 	}
@@ -673,7 +690,10 @@ func (l *Log) maybeRotate(base uint64) error {
 		return nil
 	}
 	if l.opts.Sync != SyncNever {
-		if err := l.f.Sync(); err != nil {
+		start := time.Now()
+		err := l.f.Sync()
+		l.opts.FsyncHist.Observe(time.Since(start))
+		if err != nil {
 			return err
 		}
 	}
