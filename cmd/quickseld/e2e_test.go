@@ -123,7 +123,9 @@ func (d *daemon) kill9() {
 
 func (d *daemon) stop() {
 	_ = d.cmd.Process.Kill()
-	_, _ = d.cmd.Process.Wait()
+	// cmd.Wait (not Process.Wait) so the stdout/stderr copier goroutines
+	// finish before any assertion reads d.out.
+	_ = d.cmd.Wait()
 }
 
 func (d *daemon) post(path string, body any) (int, []byte) {

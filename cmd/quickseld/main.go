@@ -22,9 +22,13 @@
 //	POST   /v1/{name}/rollback       restore an archived model version
 //	GET    /v1/{name}/accuracy       realized accuracy, drift, and gate status
 //	POST   /v1/snapshot              force a snapshot write
+//	GET    /v1/replication/wal       stream WAL records to a follower (?from=seq)
+//	GET    /v1/replication/snapshot  snapshot bootstrap for followers
+//	POST   /v1/replication/promote   promote this follower to primary (failover)
+//	GET    /v1/replication/status    replication role, watermarks, follower table
 //	GET    /metrics                  Prometheus metrics (labeled by method)
 //	GET    /healthz                  liveness probe
-//	GET    /readyz                   readiness probe (snapshot restored, WAL replayed, trainer running)
+//	GET    /readyz                   readiness probe (snapshot restored, WAL replayed, trainer running / replication caught up)
 //	GET    /debug/requests           recent request/train traces with stage timings
 //	GET    /debug/pprof/             runtime profiles (opt-in via -pprof)
 //
@@ -58,6 +62,18 @@
 // interval = survives a killed process, never = OS-paced) and
 // -wal-segment-size the rotation threshold.
 //
+// With -role=follower -primary-url=http://primary:7075, the daemon runs as
+// a read-only replica: it bootstraps from the primary's snapshot, tails the
+// primary's WAL (resumable, jittered exponential backoff), and applies the
+// records through the same replay path crash recovery uses, so its state is
+// bit-identical to a recovery of the primary. Writes are refused with 503 +
+// Retry-After and an X-Quickseld-Primary pointer; /readyz gates on the
+// follower being caught up; POST /v1/replication/promote flips it to
+// primary (stops the fetch loop, starts the trainer). On the primary,
+// -repl-ack=follower makes write acks additionally wait for a follower's
+// fetch watermark (semi-sync), so failover after a primary kill loses no
+// acknowledged observation. See ARCHITECTURE.md "Replication & failover".
+//
 // On SIGINT/SIGTERM the daemon drains in-flight requests, flushes and
 // trains every estimator, and persists a final snapshot; restarting with
 // the same -snapshot path serves identical estimates for every method.
@@ -74,6 +90,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -104,6 +121,17 @@ type flagValues struct {
 	pprof          bool
 	traceRing      int
 	slowRequest    time.Duration
+
+	// Replication (see ARCHITECTURE.md "Replication & failover").
+	role              string
+	primaryURL        string
+	followerID        string
+	replAck           string
+	replAckTimeout    time.Duration
+	replPollWait      time.Duration
+	replBackoffMin    time.Duration
+	replBackoffMax    time.Duration
+	followerRetention time.Duration
 }
 
 // buildConfig rejects garbage flag values at startup with errors that name
@@ -148,6 +176,44 @@ func buildConfig(v flagValues) (server.Config, error) {
 	if v.traceRing < 0 {
 		return server.Config{}, fmt.Errorf("-trace-ring must not be negative, got %d", v.traceRing)
 	}
+	role, err := server.ParseRole(v.role)
+	if err != nil {
+		return server.Config{}, fmt.Errorf("-role: %w", err)
+	}
+	if _, err := server.ParseAckMode(v.replAck); err != nil {
+		return server.Config{}, fmt.Errorf("-repl-ack: %w", err)
+	}
+	if role == server.RoleFollower {
+		if v.primaryURL == "" {
+			return server.Config{}, fmt.Errorf("-role=follower requires -primary-url")
+		}
+		if v.walDir == "" {
+			return server.Config{}, fmt.Errorf("-role=follower requires -wal-dir (the follower stores fetched records in its own log)")
+		}
+		if v.snapshotPath == "" {
+			return server.Config{}, fmt.Errorf("-role=follower requires -snapshot (bootstrap and restart state)")
+		}
+	}
+	if v.primaryURL != "" && !strings.HasPrefix(v.primaryURL, "http://") && !strings.HasPrefix(v.primaryURL, "https://") {
+		return server.Config{}, fmt.Errorf("-primary-url must be an http(s) base URL, got %q", v.primaryURL)
+	}
+	// Zero replication durations fall through to the package defaults;
+	// only actively bad values are rejected.
+	if v.replAckTimeout < 0 {
+		return server.Config{}, fmt.Errorf("-repl-ack-timeout must not be negative, got %s", v.replAckTimeout)
+	}
+	if v.replPollWait < 0 || v.replPollWait > server.MaxReplicationWait {
+		return server.Config{}, fmt.Errorf("-repl-poll-wait must be in [0, %s], got %s", server.MaxReplicationWait, v.replPollWait)
+	}
+	if v.replBackoffMin < 0 || v.replBackoffMax < 0 {
+		return server.Config{}, fmt.Errorf("-repl-backoff-min/-repl-backoff-max must not be negative, got %s and %s", v.replBackoffMin, v.replBackoffMax)
+	}
+	if v.replBackoffMin > 0 && v.replBackoffMax > 0 && v.replBackoffMax < v.replBackoffMin {
+		return server.Config{}, fmt.Errorf("-repl-backoff-max (%s) must be at least -repl-backoff-min (%s)", v.replBackoffMax, v.replBackoffMin)
+	}
+	if v.followerRetention < 0 {
+		return server.Config{}, fmt.Errorf("-follower-retention must not be negative, got %s", v.followerRetention)
+	}
 	return server.Config{
 		SnapshotPath:     v.snapshotPath,
 		TrainInterval:    v.trainInterval,
@@ -167,6 +233,12 @@ func buildConfig(v flagValues) (server.Config, error) {
 		TraceRingSize:  v.traceRing,
 		SlowRequest:    v.slowRequest,
 		Pprof:          v.pprof,
+
+		Role:                  role,
+		PrimaryURL:            v.primaryURL,
+		ReplicationAck:        v.replAck,
+		ReplicationAckTimeout: v.replAckTimeout,
+		FollowerRetention:     v.followerRetention,
 	}, nil
 }
 
@@ -187,6 +259,16 @@ func main() {
 	flag.StringVar(&v.walDir, "wal-dir", "", "write-ahead observation log directory (empty disables the log; see ARCHITECTURE.md \"Durability\")")
 	flag.StringVar(&v.walFsync, "wal-fsync", "interval", "WAL fsync policy: always (acked observations survive power loss), interval (survive a killed process; background fsync), or never")
 	flag.Int64Var(&v.walSegmentSize, "wal-segment-size", wal.DefaultSegmentSize, "WAL segment rotation threshold in bytes")
+
+	flag.StringVar(&v.role, "role", server.RolePrimary, "replication role: primary or follower")
+	flag.StringVar(&v.primaryURL, "primary-url", "", "primary's base URL (required with -role=follower; e.g. http://10.0.0.1:7075)")
+	flag.StringVar(&v.followerID, "follower-id", "", "stable follower identity reported to the primary (default hostname+addr)")
+	flag.StringVar(&v.replAck, "repl-ack", server.AckPrimary, "write acknowledgment mode on the primary: primary (local durability) or follower (semi-sync: wait for a follower's fetch watermark)")
+	flag.DurationVar(&v.replAckTimeout, "repl-ack-timeout", server.DefaultReplicationAckTimeout, "semi-sync ack wait bound before degrading to a local ack")
+	flag.DurationVar(&v.replPollWait, "repl-poll-wait", 5*time.Second, "follower long-poll duration per WAL fetch")
+	flag.DurationVar(&v.replBackoffMin, "repl-backoff-min", 100*time.Millisecond, "follower fetch retry backoff floor")
+	flag.DurationVar(&v.replBackoffMax, "repl-backoff-max", 5*time.Second, "follower fetch retry backoff ceiling")
+	flag.DurationVar(&v.followerRetention, "follower-retention", server.DefaultFollowerRetention, "how long a follower's watermark holds back WAL compaction after its last fetch")
 
 	flag.StringVar(&v.logLevel, "log-level", "info", "minimum log level: debug, info, warn, or error")
 	flag.StringVar(&v.logFormat, "log-format", "text", "log record format: text or json")
@@ -223,17 +305,43 @@ func main() {
 		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			(*handler.Load()).ServeHTTP(w, r)
 		}),
+		// Slow-client protection on every stage of a connection's life. The
+		// write timeout must comfortably exceed the replication long-poll cap
+		// (a follower fetch may hold its response for MaxReplicationWait)
+		// and a semi-sync observe's ack wait.
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      server.MaxReplicationWait + 30*time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
-	srv, err := server.New(cfg)
-	if err != nil {
-		fatal("quickseld: startup", err)
+	// srvSlot holds the live server (nil during a follower re-bootstrap);
+	// stopRepl stops the follower lifecycle before the final close.
+	var srvSlot atomic.Pointer[server.Server]
+	stopRepl := func() {}
+	if cfg.Role == server.RoleFollower {
+		if v.followerID == "" {
+			host, _ := os.Hostname()
+			v.followerID = host + *addr
+		}
+		stop := make(chan struct{})
+		replDone := make(chan struct{})
+		go func() {
+			defer close(replDone)
+			runFollower(cfg, v, logger, &handler, &srvSlot, stop)
+		}()
+		stopRepl = func() { close(stop); <-replDone }
+	} else {
+		srv, err := server.New(cfg)
+		if err != nil {
+			fatal("quickseld: startup", err)
+		}
+		srvSlot.Store(srv)
+		real := http.Handler(srv)
+		handler.Store(&real)
 	}
-	real := http.Handler(srv)
-	handler.Store(&real)
 
 	done := make(chan struct{})
 	go func() {
@@ -251,6 +359,7 @@ func main() {
 
 	logger.Info("quickseld: serving",
 		slog.String("addr", ln.Addr().String()),
+		slog.String("role", cfg.Role),
 		slog.String("snapshot", v.snapshotPath),
 		slog.String("wal", v.walDir),
 		slog.Bool("pprof", v.pprof),
@@ -259,9 +368,18 @@ func main() {
 		fatal("quickseld: serve", err)
 	}
 	<-done
-	// Flush pending observations, train, and persist the final snapshot.
-	if err := srv.Close(); err != nil {
-		fatal("quickseld: close", err)
+	stopRepl()
+	// Drain state: flush pending observations, train (primary only), and
+	// persist the final snapshot, so a clean restart replays a minimal WAL
+	// suffix instead of the whole retained log.
+	if srv := srvSlot.Load(); srv != nil {
+		if err := srv.Close(); err != nil {
+			fatal("quickseld: close", err)
+		}
+		reg := srv.Registry()
+		logger.Info("quickseld: final checkpoint",
+			slog.Uint64("covered_seq", reg.LastCovered()),
+			slog.Uint64("last_seq", reg.ReplicationResume()-1))
 	}
 	logger.Info("quickseld: bye")
 }

@@ -12,6 +12,7 @@ import (
 
 	"quicksel"
 	"quicksel/internal/obs"
+	"quicksel/internal/replica"
 )
 
 // Server is the HTTP facade over a Registry. Build one with New, mount it
@@ -33,8 +34,24 @@ type Server struct {
 	reqVersions      atomic.Uint64
 	reqRollback      atomic.Uint64
 	reqAccuracy      atomic.Uint64
+	reqReplWAL       atomic.Uint64
+	reqReplSnapshot  atomic.Uint64
+	reqReplPromote   atomic.Uint64
+	reqReplStatus    atomic.Uint64
+	reqRoleRejected  atomic.Uint64
 	reqErrors        atomic.Uint64
+
+	// promoteHook, when set, replaces Registry.Promote behind
+	// POST /v1/replication/promote (see SetPromoteHook).
+	promoteHook atomic.Pointer[func() (bool, error)]
 }
+
+// MaxRequestBytes caps one /v1 JSON request body. Larger bodies get 413:
+// an unbounded decode would let a single client balloon the daemon's heap.
+// The cap comfortably fits the biggest legitimate requests (a
+// MaxEstimateBatch-clause batch, an observe batch filling the pending
+// buffer) with an order of magnitude to spare.
+const MaxRequestBytes = 8 << 20
 
 // New builds the server and its registry.
 func New(cfg Config) (*Server, error) {
@@ -54,6 +71,10 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/{name}/rollback", s.handleRollback)
 	s.mux.HandleFunc("GET /v1/{name}/accuracy", s.handleAccuracy)
 	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /v1/replication/wal", s.handleReplicationWAL)
+	s.mux.HandleFunc("GET /v1/replication/snapshot", s.handleReplicationSnapshot)
+	s.mux.HandleFunc("POST /v1/replication/promote", s.handlePromote)
+	s.mux.HandleFunc("GET /v1/replication/status", s.handleReplicationStatus)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -90,6 +111,33 @@ func (s *Server) Close() error { return s.reg.Close() }
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if !strings.HasPrefix(r.URL.Path, "/v1/") {
 		s.mux.ServeHTTP(w, r)
+		return
+	}
+	// Bound every /v1 body before any handler decodes it: an unbounded JSON
+	// body would otherwise be read into memory whole. Handlers surface the
+	// resulting *http.MaxBytesError as 413 via writeError.
+	if r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, MaxRequestBytes)
+	}
+	if strings.HasPrefix(r.URL.Path, "/v1/replication/") {
+		// Replication traffic is operational (the WAL fetch long-polls at
+		// high frequency) and allowed on any role: served untraced so it
+		// does not wash client traffic out of the debug ring.
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	if r.Method != http.MethodGet && !s.reg.IsPrimary() {
+		// Followers are read-only: writes go to the primary. 503 +
+		// Retry-After (not a redirect) so naive clients fail fast and
+		// cluster-aware ones read X-Quickseld-Primary and re-aim.
+		s.reqRoleRejected.Add(1)
+		s.reqErrors.Add(1)
+		w.Header().Set("Retry-After", "1")
+		if pu := s.reg.PrimaryURL(); pu != "" {
+			w.Header().Set(replica.HeaderPrimary, pu)
+		}
+		s.writeJSON(w, http.StatusServiceUnavailable,
+			errorBody{Error: "this node is a read-only follower; send writes to the primary"})
 		return
 	}
 	sp := obs.StartSpan("http", r.Method+" "+r.URL.Path)
@@ -157,17 +205,22 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeError maps registry errors onto HTTP statuses: unknown name → 404,
-// duplicate create → 409, bad input (parse errors, schema errors) → 400.
+// duplicate create → 409, an over-limit body → 413, bad input (parse
+// errors, schema errors) → 400.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	s.reqErrors.Add(1)
 	status := http.StatusBadRequest
 	var nf *NotFoundError
 	var cf *ConflictError
+	var mb *http.MaxBytesError
 	switch {
 	case errors.As(err, &nf):
 		status = http.StatusNotFound
 	case errors.As(err, &cf):
 		status = http.StatusConflict
+	case errors.As(err, &mb):
+		status = http.StatusRequestEntityTooLarge
+		err = fmt.Errorf("request body exceeds the %d-byte limit; split the batch", MaxRequestBytes)
 	}
 	s.writeJSON(w, status, errorBody{Error: err.Error()})
 }

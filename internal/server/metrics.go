@@ -42,6 +42,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("quickseld_requests_rollback_total", "Rollback requests served.", s.reqRollback.Load())
 	counter("quickseld_requests_accuracy_total", "Accuracy requests served.", s.reqAccuracy.Load())
 	counter("quickseld_requests_metrics_total", "Metrics scrapes served.", s.reqMetrics.Load())
+	counter("quickseld_requests_replication_wal_total", "WAL fetches served to followers.", s.reqReplWAL.Load())
+	counter("quickseld_requests_replication_snapshot_total", "Snapshot bootstraps served to followers.", s.reqReplSnapshot.Load())
+	counter("quickseld_requests_replication_promote_total", "Promotion requests served.", s.reqReplPromote.Load())
+	counter("quickseld_requests_replication_status_total", "Replication status requests served.", s.reqReplStatus.Load())
+	counter("quickseld_requests_role_rejected_total", "Write requests refused because this node is a read-only follower.", s.reqRoleRejected.Load())
 	counter("quickseld_request_errors_total", "Requests answered with a non-2xx status.", s.reqErrors.Load())
 	counter("quickseld_snapshots_saved_total", "Registry snapshots persisted.", s.reg.snapshotsSaved.Load())
 	counter("quickseld_snapshot_errors_total", "Registry snapshot writes that failed.", s.reg.snapshotErrs.Load())
@@ -69,6 +74,47 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		gauge("quickseld_wal_durable_seq", "Highest acknowledged-durable sequence number.", ws.DurableSeq)
 		gauge("quickseld_wal_sync_lag", "Acknowledged records not yet fsynced (lost only with the machine, not the process).", clampSub(ws.LastSeq, ws.SyncedSeq))
 		gauge("quickseld_wal_snapshot_lag", "Records the last snapshot does not cover (the replay cost of a crash right now).", clampSub(ws.LastSeq, s.reg.walLastCovered.Load()))
+	}
+
+	// Replication series. quickseld_primary identifies the role; the
+	// primary exports its follower table summary and semi-sync counters,
+	// a follower its fetch-loop state — most importantly
+	// quickseld_replication_lag, the records it is behind the primary's
+	// durable tail (also gating /readyz).
+	primary := uint64(0)
+	if s.reg.IsPrimary() {
+		primary = 1
+	}
+	gauge("quickseld_primary", "1 on the primary, 0 on a read-only follower.", primary)
+	if s.reg.IsPrimary() {
+		live := uint64(0)
+		for _, f := range s.reg.Followers() {
+			if f.Live {
+				live++
+			}
+		}
+		gauge("quickseld_replication_followers", "Followers that fetched within the retention window.", live)
+		counter("quickseld_replication_ack_waits_total", "Writes that waited for a follower ack (semi-sync mode).", s.reg.ackWaits.Load())
+		counter("quickseld_replication_ack_timeouts_total", "Semi-sync ack waits that timed out and degraded to a local ack.", s.reg.ackTimeouts.Load())
+	} else if st := s.reg.replicationStatus(); st != nil {
+		gauge("quickseld_replication_lag", "Records this follower is behind the primary's durable tail.", st.Lag)
+		caught := uint64(0)
+		if st.CaughtUp {
+			caught = 1
+		}
+		gauge("quickseld_replication_caught_up", "Whether the follower has reached the primary's tail at least once.", caught)
+		healthy := uint64(0)
+		if st.Healthy {
+			healthy = 1
+		}
+		gauge("quickseld_replication_healthy", "Whether the fetch loop completed a round recently.", healthy)
+		counter("quickseld_replication_fetches_total", "WAL fetch rounds attempted.", st.Fetches)
+		counter("quickseld_replication_fetch_errors_total", "Fetch rounds that failed (transport, 5xx, unusable body).", st.FetchErrors)
+		counter("quickseld_replication_torn_responses_total", "Responses with a torn or corrupt tail (verified prefix kept).", st.TornResponses)
+		counter("quickseld_replication_gap_responses_total", "410 responses (suffix compacted away; snapshot re-bootstrap).", st.GapResponses)
+		counter("quickseld_replication_records_total", "Records fetched and handed to the registry.", st.Records)
+		counter("quickseld_replication_applied_total", "Fetched records applied to registry state.", s.reg.replApplied.Load())
+		counter("quickseld_replication_bytes_total", "Replication response bytes fetched.", st.Bytes)
 	}
 
 	infos := s.reg.List()

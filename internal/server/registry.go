@@ -94,6 +94,29 @@ type Config struct {
 	// policy (0 = the wal package default, 100ms).
 	WALSyncInterval time.Duration
 
+	// Role selects the replication role: RolePrimary (default) serves writes
+	// and ships its WAL; RoleFollower applies a primary's WAL (via
+	// Registry.Replicate) and serves read-only traffic until promoted.
+	// A follower requires WALDir. See internal/server/replication.go.
+	Role string
+	// PrimaryURL is the primary's base URL, advertised to redirected write
+	// clients on a follower's 503 responses.
+	PrimaryURL string
+	// ReplicationAck selects when a primary acknowledges writes: AckPrimary
+	// (default) at local durability, AckFollower once a follower's fetch
+	// watermark also covers the record (semi-synchronous; degrades to local
+	// acks after ReplicationAckTimeout or when no follower has attached).
+	ReplicationAck string
+	// ReplicationAckTimeout bounds the semi-sync ack wait
+	// (0 = DefaultReplicationAckTimeout).
+	ReplicationAckTimeout time.Duration
+	// FollowerRetention is how long a follower's last fetch keeps counting:
+	// within it the follower's watermark holds back log compaction and its
+	// acks satisfy semi-sync waits; beyond it the follower is presumed dead
+	// and must re-bootstrap from a snapshot if it returns
+	// (0 = DefaultFollowerRetention).
+	FollowerRetention time.Duration
+
 	// Logger is the base structured logger every daemon component derives
 	// its scoped logger from (component=registry, trainer, wal, server,
 	// trace). Nil falls back to slog.Default(), which writes through the
@@ -124,6 +147,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SlowRequest == 0 {
 		c.SlowRequest = DefaultSlowRequest
+	}
+	if c.ReplicationAckTimeout <= 0 {
+		c.ReplicationAckTimeout = DefaultReplicationAckTimeout
+	}
+	if c.FollowerRetention <= 0 {
+		c.FollowerRetention = DefaultFollowerRetention
 	}
 	return c
 }
@@ -228,6 +257,26 @@ type Registry struct {
 	snapReady atomic.Bool
 	walReady  atomic.Bool
 	trainerUp atomic.Bool
+	draining  atomic.Bool // Close started: fail the probe before requests stop
+
+	// Replication state (see internal/server/replication.go). primary is
+	// the current role; trainerStarted (guarded by mu) records whether
+	// trainLoop was ever launched, so Promote starts it exactly once.
+	primary        atomic.Bool
+	trainerStarted bool
+
+	// Primary-side follower bookkeeping: per-follower fetch watermarks (for
+	// the compaction floor) and semi-sync ack waiters.
+	replMu     sync.Mutex
+	followers  map[string]*followerWatermark
+	ackWaiters []*ackWaiter
+
+	// Follower-side: records applied via Replicate, and the fetcher's
+	// status callback (set by the daemon, read by /metrics and /readyz).
+	replApplied atomic.Uint64
+	ackWaits    atomic.Uint64
+	ackTimeouts atomic.Uint64
+	replStatus  atomic.Pointer[func() ReplicationStatus]
 
 	// Registry-wide counters (atomics; hot paths don't take mu).
 	snapshotsSaved   atomic.Uint64
@@ -249,6 +298,22 @@ func NewRegistry(cfg Config) (*Registry, error) {
 	}
 	if _, err := wal.ParsePolicy(cfg.WALSync); err != nil {
 		return nil, fmt.Errorf("server: %w", err)
+	}
+	role, err := ParseRole(cfg.Role)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Role = role
+	ack, err := ParseAckMode(cfg.ReplicationAck)
+	if err != nil {
+		return nil, err
+	}
+	cfg.ReplicationAck = ack
+	if role == RoleFollower && cfg.WALDir == "" {
+		return nil, fmt.Errorf("server: a follower requires the write-ahead log (set Config.WALDir)")
+	}
+	if ack == AckFollower && cfg.WALDir == "" {
+		return nil, fmt.Errorf("server: ReplicationAck %q requires the write-ahead log (set Config.WALDir)", AckFollower)
 	}
 	reg := &Registry{
 		cfg:        cfg.withDefaults(),
@@ -278,6 +343,12 @@ func NewRegistry(cfg Config) (*Registry, error) {
 			SyncInterval: reg.cfg.WALSyncInterval,
 			AppendHist:   &reg.walAppendHist,
 			FsyncHist:    &reg.walFsyncHist,
+			// An empty log directory under a snapshot covering seq C starts
+			// numbering at C+1, so sequence numbers stay aligned with the
+			// snapshot's covered watermark. This is what lets a follower
+			// bootstrap from a primary snapshot and append fetched records
+			// under their original sequence numbers.
+			InitialSeq: reg.walLastCovered.Load() + 1,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("server: %w", err)
@@ -289,32 +360,63 @@ func NewRegistry(cfg Config) (*Registry, error) {
 		}
 	}
 	reg.walReady.Store(true)
-	reg.wg.Add(1)
-	go reg.trainLoop()
+	if role == RolePrimary {
+		reg.primary.Store(true)
+		reg.trainerStarted = true
+		reg.wg.Add(1)
+		go reg.trainLoop()
+	} else {
+		// A follower serves exactly the primary's state: it must not train at
+		// its own cadence (training boundaries shape the model), so the
+		// trainer starts only at promotion. Replicated observations sit in
+		// the pending buffers (drained on buffer pressure only); a follower
+		// worker handles periodic snapshots.
+		reg.wg.Add(1)
+		go reg.followerLoop()
+	}
 	return reg, nil
 }
 
 // Readiness is the boot state behind GET /readyz: the registry is ready
 // once the snapshot is restored, the write-ahead log is replayed, and the
-// background trainer is running.
+// background trainer is running. On a follower the trainer is replaced by
+// the replication requirement: the fetch loop must be healthy and caught
+// up with the primary before the follower advertises itself.
 type Readiness struct {
-	Ready            bool `json:"ready"`
-	SnapshotRestored bool `json:"snapshot_restored"`
-	WALReplayed      bool `json:"wal_replayed"`
-	TrainerRunning   bool `json:"trainer_running"`
+	Ready            bool   `json:"ready"`
+	Role             string `json:"role"`
+	SnapshotRestored bool   `json:"snapshot_restored"`
+	WALReplayed      bool   `json:"wal_replayed"`
+	TrainerRunning   bool   `json:"trainer_running"`
+	// Follower-only: whether the fetch loop has reached the primary's tail
+	// at least once and is currently healthy, and the lag at last check.
+	ReplicationCaughtUp *bool  `json:"replication_caught_up,omitempty"`
+	ReplicationLag      uint64 `json:"replication_lag,omitempty"`
 }
 
 // Readiness reports the registry's boot progress. All components report
-// true for the life of a healthy registry; TrainerRunning drops back to
-// false when Close stops the worker, so a draining daemon fails its
-// readiness probe before it stops answering.
+// true for the life of a healthy registry; TrainerRunning (primary) and
+// replication health (follower) drop back to false when Close starts, so a
+// draining daemon fails its readiness probe before it stops answering.
 func (r *Registry) Readiness() Readiness {
 	rd := Readiness{
+		Role:             r.Role(),
 		SnapshotRestored: r.snapReady.Load(),
 		WALReplayed:      r.walReady.Load(),
 		TrainerRunning:   r.trainerUp.Load(),
 	}
-	rd.Ready = rd.SnapshotRestored && rd.WALReplayed && rd.TrainerRunning
+	rd.Ready = rd.SnapshotRestored && rd.WALReplayed && !r.draining.Load()
+	if r.IsPrimary() {
+		rd.Ready = rd.Ready && rd.TrainerRunning
+	} else {
+		caught := false
+		if st := r.replicationStatus(); st != nil {
+			caught = st.CaughtUp && st.Healthy
+			rd.ReplicationLag = st.Lag
+		}
+		rd.ReplicationCaughtUp = &caught
+		rd.Ready = rd.Ready && caught
+	}
 	return rd
 }
 
@@ -322,10 +424,16 @@ func (r *Registry) Readiness() Readiness {
 // with pending observations, and writes a final snapshot (when persistence
 // is configured).
 func (r *Registry) Close() error {
+	r.draining.Store(true)
 	r.stopO.Do(func() { close(r.done) })
 	r.wg.Wait()
-	for _, st := range r.states() {
-		r.flushAndTrain(st)
+	if r.IsPrimary() {
+		// A follower skips the final flush: training on shutdown would give
+		// it model state the primary never had. Its pending buffer is in the
+		// log, so the restart replays it losslessly.
+		for _, st := range r.states() {
+			r.flushAndTrain(st)
+		}
 	}
 	var err error
 	if r.cfg.SnapshotPath != "" {
@@ -363,6 +471,7 @@ func (r *Registry) Create(name string, schema *quicksel.Schema, opts ...quicksel
 		return err
 	}
 	var wait func() error
+	var seq uint64
 	r.mu.Lock()
 	if _, ok := r.estimators[name]; ok {
 		r.mu.Unlock()
@@ -378,7 +487,6 @@ func (r *Registry) Create(name string, schema *quicksel.Schema, opts ...quicksel
 			r.mu.Unlock()
 			return fmt.Errorf("server: encode create record: %w", merr)
 		}
-		var seq uint64
 		_, seq, wait = r.wal.Enqueue([]wal.Record{{Type: walRecCreate, Payload: rec}})
 		st.walSeq, st.walConsumed = seq, seq
 	}
@@ -393,6 +501,7 @@ func (r *Registry) Create(name string, schema *quicksel.Schema, opts ...quicksel
 			r.walAppendErrs.Add(1)
 			return fmt.Errorf("server: wal append: %w", werr)
 		}
+		r.waitReplicated(seq)
 	}
 	return nil
 }
@@ -424,6 +533,7 @@ func (r *Registry) newState(name string, est *quicksel.Estimator, origin string)
 // recovery would rebuild and a retry behaves cleanly.
 func (r *Registry) Drop(name string) error {
 	var wait func() error
+	var seq uint64
 	r.mu.Lock()
 	st, ok := r.estimators[name]
 	if !ok {
@@ -432,7 +542,7 @@ func (r *Registry) Drop(name string) error {
 	}
 	if r.wal != nil {
 		if rec, err := json.Marshal(walNamed{Name: name}); err == nil {
-			_, _, wait = r.wal.Enqueue([]wal.Record{{Type: walRecDrop, Payload: rec}})
+			_, seq, wait = r.wal.Enqueue([]wal.Record{{Type: walRecDrop, Payload: rec}})
 		}
 	}
 	delete(r.estimators, name)
@@ -447,6 +557,7 @@ func (r *Registry) Drop(name string) error {
 			r.walAppendErrs.Add(1)
 			return fmt.Errorf("server: wal append: %w", werr)
 		}
+		r.waitReplicated(seq)
 	}
 	return nil
 }
@@ -601,9 +712,10 @@ func (r *Registry) ObserveParsed(name string, recs []ParsedObservation) (estimat
 		room = len(recs)
 	}
 	var wait func() error
+	var lastSeq uint64
 	if r.wal != nil && room > 0 {
 		first, last, w := r.wal.Enqueue(scratch.wrecs[:room])
-		wait = w
+		wait, lastSeq = w, last
 		for i, rec := range recs[:room] {
 			st.pending = append(st.pending, pendingObs{pred: rec.Pred, sel: rec.Sel, seq: first + uint64(i)})
 		}
@@ -626,6 +738,10 @@ func (r *Registry) ObserveParsed(name string, recs []ParsedObservation) (estimat
 			r.walAppendErrs.Add(1)
 			return estimates, backlog, room, fmt.Errorf("server: wal append: %w", werr)
 		}
+		// Semi-sync: under AckFollower the ack additionally waits until a
+		// follower's fetch watermark covers the batch, so a primary killed
+		// right after acking cannot be the only durable copy.
+		r.waitReplicated(lastSeq)
 	}
 	if drifted {
 		// A drift alarm means the serving model is measurably stale: wake
@@ -1257,10 +1373,14 @@ func (r *Registry) SaveSnapshot() error {
 	}
 	// Flush first, then collect under the registry lock: an estimator
 	// dropped between the two phases must not be written to the snapshot
-	// (it would be resurrected on the next boot).
-	for _, st := range r.states() {
-		if err := r.flushAndTrain(st); err != nil {
-			return err
+	// (it would be resurrected on the next boot). A follower never flushes —
+	// training at snapshot time would diverge its model from the primary's —
+	// so its snapshots simply cover less and leave more log to replay.
+	if r.IsPrimary() {
+		for _, st := range r.states() {
+			if err := r.flushAndTrain(st); err != nil {
+				return err
+			}
 		}
 	}
 	// Time the snapshot itself — capture, serialize, write, rename — not
@@ -1360,9 +1480,19 @@ func (r *Registry) SaveSnapshot() error {
 	if r.wal != nil && out.Wal != nil {
 		// The snapshot is durable: log segments it makes redundant can go.
 		// Compaction failure is not a snapshot failure — the log is merely
-		// larger than it needs to be.
+		// larger than it needs to be. Compaction never passes a live
+		// follower's fetch watermark: a record a follower still needs must
+		// stay on disk until the follower fetches it or goes stale
+		// (FollowerRetention), at which point it must re-bootstrap from a
+		// snapshot anyway.
 		r.walLastCovered.Store(out.Wal.Covered)
-		_, _ = r.wal.Compact(out.Wal.Covered)
+		upTo := out.Wal.Covered
+		if floor, ok := r.replicationFloor(time.Now()); ok && floor < upTo {
+			r.log.Debug("compaction held back by follower watermark",
+				slog.Uint64("covered", upTo), slog.Uint64("floor", floor))
+			upTo = floor
+		}
+		_, _ = r.wal.Compact(upTo)
 	}
 	return nil
 }

@@ -54,6 +54,7 @@ const (
 	walRecRejection byte = 5
 	walRecRollback  byte = 6
 	walRecDrift     byte = 7
+	walRecRole      byte = 8
 )
 
 // Observation records use a hand-rolled binary payload — this is the
@@ -136,6 +137,11 @@ type walVersionEvent struct {
 	Version int    `json:"version,omitempty"`
 }
 
+// walRoleEvent is the role-change (follower promotion) audit payload.
+type walRoleEvent struct {
+	Role string `json:"role"`
+}
+
 // appendWALEvent stages an audit event without blocking on durability;
 // events are informational, replay ignores them, and losing a tail of them
 // in a crash costs nothing but audit detail.
@@ -150,23 +156,85 @@ func (r *Registry) appendWALEvent(typ byte, v any) {
 	r.wal.Enqueue([]wal.Record{{Type: typ, Payload: payload}})
 }
 
-// replayWAL streams the retained log back into the freshly restored
-// registry: creates and drops reconcile the estimator map, observations
-// re-enter the pending buffers past the snapshot's watermarks. It runs
-// inside NewRegistry, before the training worker starts and before any
-// request can arrive, so it touches registry state without locks' help
-// (the locks are still taken where shared helpers expect them).
+// applyRecord applies one log record to the live registry: creates and
+// drops reconcile the estimator map, observations re-enter the pending
+// buffers past the snapshot's watermarks. It is the single application
+// path shared by startup replay and follower replication (Replicate), so
+// a follower's state evolves exactly as a recovery of the primary would.
+// Reports whether the record changed registry state.
 //
 // A record that fails to decode (CRC-valid but semantically unreadable —
-// version skew, a bug) is logged and skipped rather than aborting startup:
-// serving with one lost record beats refusing to serve at all.
-func (r *Registry) replayWAL() error {
-	var replayed, skipped uint64
-	skip := func(seq uint64, what string, err error) {
-		r.walLog.Warn("replay: skipping record",
-			slog.Uint64("seq", seq), slog.String("record", what), slog.Any("error", err))
-		skipped++
+// version skew, a bug) is logged and counted, not fatal: serving with one
+// lost record beats refusing to serve at all.
+func (r *Registry) applyRecord(rec wal.Record) (applied bool) {
+	skip := func(what string, err error) {
+		r.walLog.Warn("apply: skipping record",
+			slog.Uint64("seq", rec.Seq), slog.String("record", what), slog.Any("error", err))
+		r.walReplaySkipped.Add(1)
 	}
+	switch rec.Type {
+	case walRecObserve:
+		name, pred, sel, err := decodeObservePayload(rec.Payload)
+		if err != nil {
+			skip("observe", err)
+			return false
+		}
+		return r.replayObservation(rec.Seq, name, pred, sel)
+	case walRecCreate:
+		var c walCreate
+		if err := json.Unmarshal(rec.Payload, &c); err != nil {
+			skip("create", err)
+			return false
+		}
+		r.mu.RLock()
+		_, exists := r.estimators[c.Name]
+		r.mu.RUnlock()
+		if exists {
+			return false // the snapshot already covers this create
+		}
+		var snap quicksel.Snapshot
+		if err := json.Unmarshal(c.Snapshot, &snap); err != nil {
+			skip("create "+c.Name, err)
+			return false
+		}
+		est, err := quicksel.RestoreUntracked(&snap)
+		if err != nil {
+			skip("create "+c.Name, err)
+			return false
+		}
+		st, _, err := r.newState(c.Name, est, lifecycle.OriginInitial)
+		if err != nil {
+			skip("create "+c.Name, err)
+			return false
+		}
+		st.walSeq, st.walConsumed = rec.Seq, rec.Seq
+		r.mu.Lock()
+		r.estimators[c.Name] = st
+		r.mu.Unlock()
+		return true
+	case walRecDrop:
+		var d walNamed
+		if err := json.Unmarshal(rec.Payload, &d); err != nil {
+			skip("drop", err)
+			return false
+		}
+		r.mu.Lock()
+		delete(r.estimators, d.Name)
+		r.mu.Unlock()
+		return true
+	default:
+		// Lifecycle and role audit events; the state they describe lives in
+		// the snapshot.
+		return false
+	}
+}
+
+// replayWAL streams the retained log back into the freshly restored
+// registry through applyRecord. It runs inside NewRegistry, before the
+// training worker starts and before any request can arrive.
+func (r *Registry) replayWAL() error {
+	var replayed uint64
+	skippedBefore := r.walReplaySkipped.Load()
 	// Everything at or below the snapshot's covered watermark is already
 	// reflected in the restored registry. Compaction only deletes whole
 	// segments, so covered records can survive in the retained prefix —
@@ -175,54 +243,8 @@ func (r *Registry) replayWAL() error {
 	// later undone by a re-create.
 	covered := r.walLastCovered.Load()
 	err := r.wal.Replay(covered+1, func(rec wal.Record) error {
-		switch rec.Type {
-		case walRecObserve:
-			name, pred, sel, err := decodeObservePayload(rec.Payload)
-			if err != nil {
-				skip(rec.Seq, "observe", err)
-				return nil
-			}
-			if r.replayObservation(rec.Seq, name, pred, sel) {
-				replayed++
-			}
-		case walRecCreate:
-			var c walCreate
-			if err := json.Unmarshal(rec.Payload, &c); err != nil {
-				skip(rec.Seq, "create", err)
-				return nil
-			}
-			if _, ok := r.estimators[c.Name]; ok {
-				return nil // the snapshot already covers this create
-			}
-			var snap quicksel.Snapshot
-			if err := json.Unmarshal(c.Snapshot, &snap); err != nil {
-				skip(rec.Seq, "create "+c.Name, err)
-				return nil
-			}
-			est, err := quicksel.RestoreUntracked(&snap)
-			if err != nil {
-				skip(rec.Seq, "create "+c.Name, err)
-				return nil
-			}
-			st, _, err := r.newState(c.Name, est, lifecycle.OriginInitial)
-			if err != nil {
-				skip(rec.Seq, "create "+c.Name, err)
-				return nil
-			}
-			st.walSeq, st.walConsumed = rec.Seq, rec.Seq
-			r.estimators[c.Name] = st
+		if r.applyRecord(rec) {
 			replayed++
-		case walRecDrop:
-			var d walNamed
-			if err := json.Unmarshal(rec.Payload, &d); err != nil {
-				skip(rec.Seq, "drop", err)
-				return nil
-			}
-			delete(r.estimators, d.Name)
-			replayed++
-		default:
-			// Lifecycle audit events; the state they describe lives in the
-			// snapshot.
 		}
 		return nil
 	})
@@ -230,7 +252,7 @@ func (r *Registry) replayWAL() error {
 		return fmt.Errorf("server: wal replay: %w", err)
 	}
 	r.walReplayed.Add(replayed)
-	r.walReplaySkipped.Add(skipped)
+	skipped := r.walReplaySkipped.Load() - skippedBefore
 	if replayed > 0 || skipped > 0 {
 		r.walLog.Info("replay complete",
 			slog.Uint64("replayed", replayed),
@@ -247,7 +269,9 @@ func (r *Registry) replayWAL() error {
 // replayObservation re-ingests one logged observation, mirroring
 // ObserveParsed's bookkeeping. Reports whether the record was applied.
 func (r *Registry) replayObservation(seq uint64, name string, pred *quicksel.Predicate, sel float64) bool {
+	r.mu.RLock()
 	st, ok := r.estimators[name]
+	r.mu.RUnlock()
 	if !ok {
 		// Created before the snapshot and dropped before the crash (the
 		// later drop record, if retained, is a no-op too).

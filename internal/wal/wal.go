@@ -52,6 +52,7 @@ package wal
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -128,6 +129,14 @@ type Options struct {
 	// SyncInterval is the background fsync cadence under SyncInterval
 	// (default 100ms).
 	SyncInterval time.Duration
+
+	// InitialSeq is the sequence number of the first record ever appended,
+	// used only when the directory holds no segments (0 selects 1, the
+	// default). A replication follower bootstrapping from a primary snapshot
+	// that covers sequence C opens its local log with InitialSeq C+1, so the
+	// records it fetches keep the primary's numbering; the same applies to a
+	// primary whose log directory was lost but whose snapshot survived.
+	InitialSeq uint64
 
 	// AppendHist and FsyncHist, when non-nil, record the latency of
 	// group-commit segment writes and of fsync(2) calls — the two syscalls
@@ -297,7 +306,10 @@ func (l *Log) scanDir() error {
 	}
 	if len(segs) == 0 {
 		l.nextSeq = 1
-		l.active = segment{path: segPath(l.dir, 1), base: 1}
+		if l.opts.InitialSeq > 1 {
+			l.nextSeq = l.opts.InitialSeq
+		}
+		l.active = segment{path: segPath(l.dir, l.nextSeq), base: l.nextSeq}
 		return nil
 	}
 	sort.Slice(segs, func(i, j int) bool { return segs[i].base < segs[j].base })
@@ -408,6 +420,52 @@ func scanSegment(path string, from uint64, fn func(Record) error) (scanResult, e
 			}
 		}
 	}
+}
+
+// ErrShortFrame reports a frame cut off before its declared length — the
+// tail of a partial read or a torn replication response. The bytes before
+// it are intact; the caller resumes from the record after the last complete
+// frame.
+var ErrShortFrame = errors.New("wal: short frame")
+
+// ErrCompacted reports a read of records that compaction has already
+// deleted. A replication follower receiving it is behind the primary's
+// compaction floor and must re-bootstrap from a snapshot instead of
+// tailing the log.
+var ErrCompacted = errors.New("wal: records compacted away")
+
+// EncodeFrame appends rec in the on-disk frame format (length, CRC32C,
+// type, seq, payload) to dst. It is the wire format of WAL shipping: a
+// replication response is a dense run of these frames.
+func EncodeFrame(dst []byte, rec Record) []byte {
+	return appendFrame(dst, rec.Type, rec.Seq, rec.Payload)
+}
+
+// DecodeFrame parses the first frame in data, returning the record and the
+// number of bytes consumed. ErrShortFrame means data ends before the frame
+// does (read more and retry); any other error means the bytes are not a
+// valid frame (CRC mismatch, absurd length). The record's payload aliases
+// data and is only valid while data is.
+func DecodeFrame(data []byte) (Record, int, error) {
+	if len(data) < frameHeaderSize {
+		return Record{}, 0, ErrShortFrame
+	}
+	n := binary.LittleEndian.Uint32(data[0:4])
+	if n < frameBodyOverhead || n > frameBodyOverhead+MaxPayload {
+		return Record{}, 0, fmt.Errorf("wal: invalid frame length %d", n)
+	}
+	if len(data) < frameHeaderSize+int(n) {
+		return Record{}, 0, ErrShortFrame
+	}
+	body := data[frameHeaderSize : frameHeaderSize+int(n)]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(data[4:8]) {
+		return Record{}, 0, fmt.Errorf("wal: frame CRC mismatch")
+	}
+	return Record{
+		Type:    body[0],
+		Seq:     binary.LittleEndian.Uint64(body[1:9]),
+		Payload: body[frameBodyOverhead:],
+	}, frameHeaderSize + int(n), nil
 }
 
 // appendFrame encodes one record into dst.
@@ -742,6 +800,91 @@ func (l *Log) Replay(from uint64, fn func(Record) error) error {
 		}
 	}
 	return nil
+}
+
+// errCollectDone stops a CollectFrames segment scan once the byte budget is
+// spent; it never escapes the method.
+var errCollectDone = errors.New("wal: collect done")
+
+// CollectFrames re-frames retained records with from <= seq <= upTo into a
+// byte slice in the on-disk wire format, stopping once maxBytes is exceeded
+// (the first record is always included, so progress is guaranteed even when
+// one record outsizes the budget). It returns the framed bytes and the
+// first and last sequence numbers included (0, 0 when none).
+//
+// It returns ErrCompacted when records at from have already been deleted by
+// Compact — the caller is behind the compaction floor and must bootstrap
+// from a snapshot. Callers cap upTo at DurableSeq so unacknowledged records
+// never ship.
+//
+// Unlike Replay, CollectFrames is safe concurrently with Append: it reads
+// the segment files through its own descriptors and simply stops at the
+// first incomplete frame (an append racing the read), returning the intact
+// prefix. Each call rescans its starting segment from the beginning, so the
+// cost of a tailing reader is one sequential read of the active segment per
+// call.
+func (l *Log) CollectFrames(from, upTo uint64, maxBytes int) (frames []byte, first, last uint64, err error) {
+	if from == 0 {
+		from = 1
+	}
+	l.mu.Lock()
+	segs := append(append([]segment(nil), l.segs...), l.active)
+	tail := l.nextSeq - 1
+	l.mu.Unlock()
+	if from > upTo || from > tail {
+		return nil, 0, 0, nil
+	}
+	retained := uint64(0)
+	for _, s := range segs {
+		if s.records > 0 {
+			retained = s.first
+			break
+		}
+	}
+	if retained == 0 || from < retained {
+		// Records at from were assigned (from <= tail) but are no longer on
+		// disk: compaction outran this reader.
+		return nil, 0, 0, ErrCompacted
+	}
+	expect := from
+	for _, s := range segs {
+		if s.records == 0 || s.last < from {
+			continue
+		}
+		_, serr := scanSegment(s.path, from, func(rec Record) error {
+			if rec.Seq != expect || rec.Seq > upTo {
+				return errCollectDone
+			}
+			frames = EncodeFrame(frames, rec)
+			if first == 0 {
+				first = rec.Seq
+			}
+			last = rec.Seq
+			expect++
+			if len(frames) >= maxBytes {
+				return errCollectDone
+			}
+			return nil
+		})
+		if serr != nil {
+			if errors.Is(serr, errCollectDone) {
+				break
+			}
+			if errors.Is(serr, os.ErrNotExist) {
+				// The segment vanished mid-collect: a concurrent Compact won
+				// the race. Anything gathered so far is a valid prefix.
+				if first != 0 {
+					return frames, first, last, nil
+				}
+				return nil, 0, 0, ErrCompacted
+			}
+			return nil, 0, 0, serr
+		}
+		if last != 0 && (last >= upTo || len(frames) >= maxBytes) {
+			break
+		}
+	}
+	return frames, first, last, nil
 }
 
 // Compact deletes rotated segments whose records all have seq <= upTo. The
