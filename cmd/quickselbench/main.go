@@ -28,6 +28,7 @@
 //	drift        shadow vs always promotion under a mean-shift drifting
 //	             workload (recovery time / accuracy, through the registry)
 //	perf         training/serving kernel micro-benchmarks
+//	warm         warm-start incremental retraining vs full retraining
 //	all          run every experiment above in order
 package main
 
@@ -52,7 +53,8 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "base random seed")
 	maxN := fs.Int("maxn", 0, "largest observed-query count for sweeps (0 = default)")
 	out := fs.String("out", "BENCH_quicksel.json", "perf: output JSON path (empty = don't write)")
-	maxM := fs.Int("maxm", 0, "perf: cap on the subpopulation axis (0 = full matrix up to 4000)")
+	maxM := fs.Int("maxm", 0, "perf/warm: cap on the subpopulation axis (0 = full matrix up to 4000)")
+	minSpeedup := fs.Float64("assert-min-speedup", 0, "warm: fail unless every batch-64 incremental retrain beats full by this factor (0 = no assertion)")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: quickselbench <experiment> [flags]")
 		fmt.Fprintln(fs.Output(), "experiments: table3 fig3 fig4 fig5 fig6 fig7a fig7b fig7c fig7d")
@@ -60,6 +62,7 @@ func run(args []string) error {
 		fmt.Fprintln(fs.Output(), "             compare (per-method accuracy/latency over the serving backends)")
 		fmt.Fprintln(fs.Output(), "             drift (promotion policies under a drifting workload -> BENCH_quicksel.json)")
 		fmt.Fprintln(fs.Output(), "             perf (training/serving kernel micro-benchmarks -> BENCH_quicksel.json)")
+		fmt.Fprintln(fs.Output(), "             warm (warm-start incremental vs full retraining -> BENCH_quicksel.json)")
 		fs.PrintDefaults()
 	}
 	if len(args) == 0 {
@@ -86,6 +89,8 @@ func run(args []string) error {
 		switch n {
 		case "perf":
 			rendered, err = runPerf(*out, *maxM)
+		case "warm":
+			rendered, err = runWarmBench(*out, *maxM, *minSpeedup)
 		case "drift":
 			rendered, err = runDriftBench(*rows, *seed, *out)
 		case "compare":

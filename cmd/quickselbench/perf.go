@@ -52,6 +52,9 @@ type perfReport struct {
 	// Observe is the ingest-path throughput comparison with the
 	// write-ahead log off vs on (observe.go; owned by the perf subcommand).
 	Observe *observeReport `json:"observe,omitempty"`
+	// WarmStart is the incremental-vs-full retraining comparison
+	// (quickselbench warm).
+	WarmStart *warmReport `json:"warm_start,omitempty"`
 	// Drift is the recovery-time/accuracy comparison of promotion policies
 	// under a drifting workload (quickselbench drift).
 	Drift *driftReport `json:"drift,omitempty"`
@@ -224,6 +227,7 @@ func runPerf(outPath string, maxM int) (string, error) {
 		if data, err := os.ReadFile(outPath); err == nil {
 			_ = json.Unmarshal(data, &existing)
 		}
+		report.WarmStart = existing.WarmStart
 		report.Drift = existing.Drift
 		data, err := json.MarshalIndent(&report, "", "  ")
 		if err != nil {

@@ -35,6 +35,12 @@ const (
 	// DefaultNearestCenters sizes each subpopulation box by the average
 	// distance to this many closest centers (§3.3 step 3).
 	DefaultNearestCenters = 10
+	// DefaultMergeThreshold is the Jaccard overlap above which the
+	// observation coreset merges two feedback records when MaxObservations
+	// caps the history. The mixture is tolerant of collapsing near-duplicate
+	// boxes: at 0.9 overlap the merged box differs from either original by
+	// under 10% of their common volume.
+	DefaultMergeThreshold = 0.9
 )
 
 // Config tunes the model. The zero value of every field selects the paper's
@@ -58,6 +64,26 @@ type Config struct {
 	// bit-identical subpopulation weights; the knob trades cores for wall
 	// clock only.
 	Workers int
+	// WarmStart keeps the analytic solver's Cholesky factorization (and its
+	// ridge) between training runs. While the subpopulation set is frozen —
+	// at the MaxSubpops cap or under FixedSubpops — a small feedback batch
+	// retrains by rank-1 updates in O(batch·m²) instead of refactoring in
+	// O(m³); larger batches and any change to the subpopulation budget fall
+	// back to the full blocked factorization. Warm retrains match full
+	// retrains to solver rounding, not bit-for-bit. Ignored by the
+	// iterative solver.
+	WarmStart bool
+	// MaxObservations caps the retained feedback history with the coreset
+	// merge/evict pass: an incoming observation whose box overlaps a
+	// retained one above MergeThreshold (Jaccard) merges into it
+	// (weighted-average corners and selectivity, summed weight); otherwise
+	// the minimum-weight record is evicted to make room. 0 keeps the full
+	// history (paper behaviour).
+	MaxObservations int
+	// MergeThreshold is the Jaccard overlap in (0,1] above which the
+	// coreset merges two observations. 0 selects DefaultMergeThreshold.
+	// Only meaningful when MaxObservations > 0.
+	MergeThreshold float64
 }
 
 func (c Config) withDefaults() Config {
@@ -76,14 +102,20 @@ func (c Config) withDefaults() Config {
 	if c.Lambda == 0 {
 		c.Lambda = qp.DefaultLambda
 	}
+	if c.MaxObservations > 0 && c.MergeThreshold == 0 {
+		c.MergeThreshold = DefaultMergeThreshold
+	}
 	return c
 }
 
 // observation is one training record (P_i, s_i), with its pre-generated
-// workload-aware points (§3.3 step 1).
+// workload-aware points (§3.3 step 1). weight counts the raw feedback
+// records the coreset has collapsed into this one (1 when uncoalesced); the
+// QP weighs the record's consistency constraint by it.
 type observation struct {
 	box    geom.Box
 	sel    float64
+	weight float64
 	points [][]float64
 }
 
@@ -122,7 +154,21 @@ type Model struct {
 	qlo, qhi []float64
 
 	// Diagnostics for the experiment drivers.
-	lastIters int // iterations of the iterative solver (0 for analytic)
+	lastIters     int    // iterations of the iterative solver (0 for analytic)
+	lastTrainMode string // TrainModeFull or TrainModeIncremental; "" before first Train
+
+	// Warm-start state (Config.WarmStart): the solver factorization of the
+	// last full train, the subpopulation SoA + reciprocal volumes needed to
+	// rebuild constraint rows, the count of observations already folded into
+	// the factorization (a prefix of m.observations), and the pending
+	// remove/add edits the coreset recorded against that prefix. All nil/0
+	// when warm-start is off or no full train has happened; snapshots do not
+	// carry this state, so a restored model's first retrain is full.
+	warm       *qp.WarmState
+	warmSet    *geom.BoxSet
+	warmInvVol []float64
+	warmObs    int
+	warmDeltas []warmDelta
 }
 
 // countingSource wraps a rand.Source and counts Int63 draws. The count is
@@ -155,8 +201,12 @@ func New(cfg Config) (*Model, error) {
 		return nil, fmt.Errorf("core: negative Lambda %g", cfg.Lambda)
 	}
 	if cfg.FixedSubpops < 0 || cfg.SubpopsPerQuery < 0 || cfg.MaxSubpops < 0 ||
-		cfg.PointsPerPredicate < 0 || cfg.NearestCenters < 0 || cfg.Workers < 0 {
+		cfg.PointsPerPredicate < 0 || cfg.NearestCenters < 0 || cfg.Workers < 0 ||
+		cfg.MaxObservations < 0 {
 		return nil, errors.New("core: negative configuration value")
+	}
+	if cfg.MergeThreshold < 0 || cfg.MergeThreshold > 1 || math.IsNaN(cfg.MergeThreshold) {
+		return nil, fmt.Errorf("core: MergeThreshold %g outside [0,1]", cfg.MergeThreshold)
 	}
 	c := cfg.withDefaults()
 	src := &countingSource{src: rand.NewSource(c.Seed)}
@@ -233,7 +283,7 @@ func (m *Model) Observe(box geom.Box, sel float64) error {
 		sel = 1
 	}
 	b := box.Clip(m.unit)
-	obs := observation{box: b, sel: sel}
+	obs := observation{box: b, sel: sel, weight: 1}
 	// Workload-aware points (§3.3 step 1): random points inside the
 	// predicate box, drawn once at observation time for determinism.
 	if !b.IsEmpty() {
@@ -245,6 +295,10 @@ func (m *Model) Observe(box geom.Box, sel float64) error {
 			}
 			obs.points[i] = p
 		}
+	}
+	if m.cfg.MaxObservations > 0 && m.coresetAbsorb(obs) {
+		m.trained = false
+		return nil
 	}
 	m.observations = append(m.observations, obs)
 	m.trained = false
@@ -263,15 +317,34 @@ func (m *Model) targetSubpops() int {
 	return t
 }
 
-// Train regenerates the subpopulations from the observed workload and
-// solves the QP of Problem 3 for their weights. Training with zero
-// observations resets the model to the uniform prior.
+// Train fits the subpopulation weights to the observed workload. When
+// warm-start applies (Config.WarmStart, frozen subpopulation set, small
+// pending batch) it re-solves from the kept factorization in O(batch·m²);
+// otherwise it regenerates the subpopulations and solves the QP of Problem 3
+// from scratch. Training with zero observations resets the model to the
+// uniform prior.
 func (m *Model) Train() error {
+	if m.warmEligible() {
+		if err := m.trainIncremental(); err == nil {
+			return nil
+		}
+		// Any incremental failure (a downdate that lost definiteness, a
+		// non-finite solve) invalidates the warm state; the full path below
+		// rebuilds everything from the observations, which remain intact.
+		m.clearWarm()
+	}
+	return m.trainFull()
+}
+
+// trainFull is the cold path: regenerate subpopulations, assemble, solve.
+func (m *Model) trainFull() error {
 	n := len(m.observations)
 	if n == 0 {
 		m.subpops, m.weights, m.compiled = nil, nil, nil
 		m.trained = true
 		m.lastIters = 0
+		m.lastTrainMode = TrainModeFull
+		m.clearWarm()
 		return nil
 	}
 
@@ -281,20 +354,34 @@ func (m *Model) Train() error {
 		m.subpops, m.weights, m.compiled = nil, nil, nil
 		m.trained = true
 		m.lastIters = 0
+		m.lastTrainMode = TrainModeFull
+		m.clearWarm()
 		return nil
 	}
 	m.subpops = m.sizeSubpopulations(centers)
 
 	q, a, s := m.assemble()
 	prob := &qp.Problem{Q: q, A: a, S: s, Lambda: m.cfg.Lambda, Workers: m.cfg.Workers}
-	if m.cfg.UseIterativeSolver {
+	switch {
+	case m.cfg.UseIterativeSolver:
 		res, err := qp.SolveIterative(prob, qp.IterativeOptions{Project: true})
 		if err != nil {
 			return fmt.Errorf("core: iterative training: %w", err)
 		}
 		m.weights = res.W
 		m.lastIters = res.Iters
-	} else {
+		m.clearWarm()
+	case m.cfg.WarmStart:
+		// Same solve as qp.SolveAnalytic (bit-identical weights), but keep
+		// the factorization for the next retrain.
+		w, ws, err := qp.SolveAnalyticWarm(prob)
+		if err != nil {
+			return fmt.Errorf("core: analytic training: %w", err)
+		}
+		m.weights = w
+		m.lastIters = 0
+		m.setWarm(ws)
+	default:
 		w, err := qp.SolveAnalytic(prob)
 		if err != nil {
 			return fmt.Errorf("core: analytic training: %w", err)
@@ -304,6 +391,7 @@ func (m *Model) Train() error {
 	}
 	m.compiled = compile(m.subpops, m.weights)
 	m.trained = true
+	m.lastTrainMode = TrainModeFull
 	return nil
 }
 
@@ -393,6 +481,18 @@ func (m *Model) assemble() (q, a *linalg.Matrix, s []float64) {
 			row := a.Row(i + 1)
 			for j := 0; j < mm; j++ {
 				row[j] = set.CornersIntersectionVolume(j, o.box.Lo, o.box.Hi) * invVol[j]
+			}
+			// A coreset-merged record stands for weight raw observations;
+			// scaling its row and selectivity by √weight makes the penalty
+			// term count it weight times (weighted least squares). The
+			// weight==1 case skips the multiply so uncoalesced models keep
+			// their historical bit-exact weights.
+			if o.weight != 1 {
+				root := math.Sqrt(o.weight)
+				for j := range row {
+					row[j] *= root
+				}
+				s[i+1] = root * o.sel
 			}
 		}
 	})

@@ -38,9 +38,14 @@ func (s SnapshotBox) box() geom.Box {
 // post-restore retraining deterministic: the center pool of §3.3 is rebuilt
 // from exactly the same candidates.
 type SnapshotObservation struct {
-	Lo     []float64   `json:"lo"`
-	Hi     []float64   `json:"hi"`
-	Sel    float64     `json:"sel"`
+	Lo  []float64 `json:"lo"`
+	Hi  []float64 `json:"hi"`
+	Sel float64   `json:"sel"`
+	// Weight is the coreset weight: how many raw feedback records this one
+	// stands for. Omitted when 1 (the uncoalesced default), so snapshots
+	// from models without an observation cap are byte-identical to the
+	// pre-coreset format; absent means 1 on restore.
+	Weight float64     `json:"weight,omitempty"`
 	Points [][]float64 `json:"points,omitempty"`
 }
 
@@ -61,6 +66,13 @@ type SnapshotConfig struct {
 	// serving daemon's snapshot-clone retraining path) keeps the operator's
 	// parallelism cap.
 	Workers int `json:"workers,omitempty"`
+	// Warm-start and coreset knobs (all zero before envelope v5). The warm
+	// factorization itself is not serialized — it is O(m²) floats and
+	// cheaper to rebuild than to ship — so a restored model's first retrain
+	// is always full.
+	WarmStart       bool    `json:"warm_start,omitempty"`
+	MaxObservations int     `json:"max_observations,omitempty"`
+	MergeThreshold  float64 `json:"merge_threshold,omitempty"`
 }
 
 func configToSnapshot(c Config) SnapshotConfig {
@@ -75,6 +87,9 @@ func configToSnapshot(c Config) SnapshotConfig {
 		Seed:               c.Seed,
 		UseIterativeSolver: c.UseIterativeSolver,
 		Workers:            c.Workers,
+		WarmStart:          c.WarmStart,
+		MaxObservations:    c.MaxObservations,
+		MergeThreshold:     c.MergeThreshold,
 	}
 }
 
@@ -90,6 +105,9 @@ func (s SnapshotConfig) config() Config {
 		Seed:               s.Seed,
 		UseIterativeSolver: s.UseIterativeSolver,
 		Workers:            s.Workers,
+		WarmStart:          s.WarmStart,
+		MaxObservations:    s.MaxObservations,
+		MergeThreshold:     s.MergeThreshold,
 	}
 }
 
@@ -141,12 +159,16 @@ func (m *Model) Snapshot() *Snapshot {
 	s.Observations = make([]SnapshotObservation, len(m.observations))
 	for i, o := range m.observations {
 		b := boxToSnapshot(o.box)
-		s.Observations[i] = SnapshotObservation{
+		so := SnapshotObservation{
 			Lo:     b.Lo,
 			Hi:     b.Hi,
 			Sel:    o.sel,
 			Points: copyPoints(o.points),
 		}
+		if o.weight != 1 {
+			so.Weight = o.weight
+		}
+		s.Observations[i] = so
 	}
 	if len(m.subpops) > 0 {
 		s.Subpops = make([]SnapshotBox, len(m.subpops))
@@ -178,8 +200,12 @@ func Restore(s *Snapshot) (*Model, error) {
 		return nil, fmt.Errorf("core: snapshot has invalid Lambda %g", cfg.Lambda)
 	}
 	if cfg.FixedSubpops < 0 || cfg.SubpopsPerQuery < 0 || cfg.MaxSubpops < 0 ||
-		cfg.PointsPerPredicate < 0 || cfg.NearestCenters < 0 || cfg.Workers < 0 {
+		cfg.PointsPerPredicate < 0 || cfg.NearestCenters < 0 || cfg.Workers < 0 ||
+		cfg.MaxObservations < 0 {
 		return nil, fmt.Errorf("core: snapshot has negative configuration value")
+	}
+	if cfg.MergeThreshold < 0 || cfg.MergeThreshold > 1 || math.IsNaN(cfg.MergeThreshold) {
+		return nil, fmt.Errorf("core: snapshot MergeThreshold %g outside [0,1]", cfg.MergeThreshold)
 	}
 	if len(s.Weights) != len(s.Subpops) {
 		return nil, fmt.Errorf("core: snapshot has %d weights for %d subpopulations",
@@ -247,9 +273,17 @@ func Restore(s *Snapshot) (*Model, error) {
 				return nil, err
 			}
 		}
+		weight := o.Weight
+		if weight == 0 {
+			weight = 1 // pre-coreset snapshots omit the field
+		}
+		if weight < 0 || math.IsNaN(weight) || math.IsInf(weight, 0) {
+			return nil, fmt.Errorf("core: snapshot observation %d has invalid weight %g", i, o.Weight)
+		}
 		m.observations[i] = observation{
 			box:    box.Clip(m.unit),
 			sel:    sel,
+			weight: weight,
 			points: copyPoints(o.Points),
 		}
 	}

@@ -1,0 +1,484 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quicksel/internal/geom"
+)
+
+// randBox draws a random sub-box of the unit cube.
+func randBox(rng *rand.Rand, d int) geom.Box {
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	for k := 0; k < d; k++ {
+		a, b := rng.Float64(), rng.Float64()
+		if a > b {
+			a, b = b, a
+		}
+		lo[k], hi[k] = a, b
+	}
+	return geom.NewBox(lo, hi)
+}
+
+// jitterBox returns box shifted by at most eps per corner, for near-duplicate
+// workloads.
+func jitterBox(rng *rand.Rand, b geom.Box, eps float64) geom.Box {
+	lo := make([]float64, b.Dim())
+	hi := make([]float64, b.Dim())
+	for k := range lo {
+		lo[k] = b.Lo[k] + eps*(rng.Float64()-0.5)
+		hi[k] = b.Hi[k] + eps*(rng.Float64()-0.5)
+		if lo[k] < 0 {
+			lo[k] = 0
+		}
+		if hi[k] > 1 {
+			hi[k] = 1
+		}
+		if hi[k] < lo[k] {
+			lo[k], hi[k] = hi[k], lo[k]
+		}
+	}
+	return geom.NewBox(lo, hi)
+}
+
+func observeRandom(t *testing.T, m *Model, rng *rand.Rand, d, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		b := randBox(rng, d)
+		if err := m.Observe(b, b.Volume()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func weightsRelErr(got, want []float64) float64 {
+	var diff2, ref2 float64
+	for i := range want {
+		dv := got[i] - want[i]
+		diff2 += dv * dv
+		ref2 += want[i] * want[i]
+	}
+	return math.Sqrt(diff2) / (1 + math.Sqrt(ref2))
+}
+
+func TestWarmIncrementalMatchesFrozenColdSolve(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		for _, d := range []int{1, 2, 5} {
+			for _, batch := range []int{1, 5, 12} {
+				m, err := New(Config{Dim: d, Seed: seed, FixedSubpops: 60, WarmStart: true, Workers: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(seed * 100))
+				observeRandom(t, m, rng, d, 20)
+				if err := m.Train(); err != nil {
+					t.Fatal(err)
+				}
+				if m.TrainMode() != TrainModeFull {
+					t.Fatalf("first train mode = %q", m.TrainMode())
+				}
+				observeRandom(t, m, rng, d, batch)
+				if err := m.Train(); err != nil {
+					t.Fatal(err)
+				}
+				if m.TrainMode() != TrainModeIncremental {
+					t.Fatalf("seed=%d d=%d batch=%d: second train mode = %q, want incremental", seed, d, batch, m.TrainMode())
+				}
+				cold, err := m.TrainFrozenForTest()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if e := weightsRelErr(m.Weights(), cold); e > 1e-6 {
+					t.Fatalf("seed=%d d=%d batch=%d: warm vs frozen cold rel err %g", seed, d, batch, e)
+				}
+			}
+		}
+	}
+}
+
+func TestWarmLargeBatchFallsBackToFull(t *testing.T) {
+	m, err := New(Config{Dim: 2, Seed: 1, FixedSubpops: 40, WarmStart: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	observeRandom(t, m, rng, 2, 10)
+	if err := m.Train(); err != nil {
+		t.Fatal(err)
+	}
+	// 11 > 40/4 pending edits: must take the full path.
+	observeRandom(t, m, rng, 2, 11)
+	if err := m.Train(); err != nil {
+		t.Fatal(err)
+	}
+	if m.TrainMode() != TrainModeFull {
+		t.Fatalf("train mode = %q, want full for a large batch", m.TrainMode())
+	}
+	// A small follow-up batch goes incremental again off the refreshed factor.
+	observeRandom(t, m, rng, 2, 3)
+	if err := m.Train(); err != nil {
+		t.Fatal(err)
+	}
+	if m.TrainMode() != TrainModeIncremental {
+		t.Fatalf("train mode = %q, want incremental after refresh", m.TrainMode())
+	}
+}
+
+func TestWarmMovingSubpopBudgetFallsBackToFull(t *testing.T) {
+	// No FixedSubpops and below the cap: the §3.3 budget grows with n, so
+	// every train regenerates subpopulations (full path).
+	m, err := New(Config{Dim: 2, Seed: 1, WarmStart: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	observeRandom(t, m, rng, 2, 8)
+	if err := m.Train(); err != nil {
+		t.Fatal(err)
+	}
+	observeRandom(t, m, rng, 2, 1)
+	if err := m.Train(); err != nil {
+		t.Fatal(err)
+	}
+	if m.TrainMode() != TrainModeFull {
+		t.Fatalf("train mode = %q, want full while the budget moves", m.TrainMode())
+	}
+}
+
+func TestWarmRestoredModelRetrainsFullFirst(t *testing.T) {
+	m, err := New(Config{Dim: 2, Seed: 3, FixedSubpops: 30, WarmStart: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	observeRandom(t, m, rng, 2, 10)
+	if err := m.Train(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(m.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WarmStateForTest() {
+		t.Fatal("restored model must not claim a warm factorization")
+	}
+	b := randBox(rng, 2)
+	if err := r.Observe(b, b.Volume()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Train(); err != nil {
+		t.Fatal(err)
+	}
+	if r.TrainMode() != TrainModeFull {
+		t.Fatalf("restored train mode = %q, want full", r.TrainMode())
+	}
+	// The rebuilt factorization warms the one after.
+	b = randBox(rng, 2)
+	if err := r.Observe(b, b.Volume()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Train(); err != nil {
+		t.Fatal(err)
+	}
+	if r.TrainMode() != TrainModeIncremental {
+		t.Fatalf("second post-restore train mode = %q, want incremental", r.TrainMode())
+	}
+}
+
+func TestWarmDowndateFailureFallsBackToFull(t *testing.T) {
+	m, err := New(Config{Dim: 2, Seed: 4, FixedSubpops: 30, WarmStart: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	observeRandom(t, m, rng, 2, 10)
+	if err := m.Train(); err != nil {
+		t.Fatal(err)
+	}
+	m.CorruptWarmForTest()
+	if err := m.Train(); err != nil {
+		t.Fatalf("Train must recover from a failed downdate, got %v", err)
+	}
+	if m.TrainMode() != TrainModeFull {
+		t.Fatalf("train mode = %q, want full after downdate failure", m.TrainMode())
+	}
+	for _, w := range m.Weights() {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			t.Fatal("non-finite weight after fallback")
+		}
+	}
+}
+
+func TestWarmIterativeSolverNeverWarm(t *testing.T) {
+	m, err := New(Config{Dim: 2, Seed: 5, FixedSubpops: 20, WarmStart: true, UseIterativeSolver: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	observeRandom(t, m, rng, 2, 8)
+	if err := m.Train(); err != nil {
+		t.Fatal(err)
+	}
+	observeRandom(t, m, rng, 2, 2)
+	if err := m.Train(); err != nil {
+		t.Fatal(err)
+	}
+	if m.TrainMode() != TrainModeFull {
+		t.Fatalf("iterative solver train mode = %q, want full", m.TrainMode())
+	}
+	if m.WarmStateForTest() {
+		t.Fatal("iterative solver must not hold a warm factorization")
+	}
+}
+
+func TestCoresetMergesNearDuplicates(t *testing.T) {
+	m, err := New(Config{Dim: 2, Seed: 6, MaxObservations: 8, MergeThreshold: 0.8, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(14))
+	base := randBox(rng, 2)
+	for i := 0; i < 20; i++ {
+		b := jitterBox(rng, base, 0.01)
+		if err := m.Observe(b, b.Volume()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.NumObserved(); got != 1 {
+		t.Fatalf("near-duplicate workload retained %d records, want 1", got)
+	}
+	w := m.ObservationWeightsForTest()
+	if w[0] != 20 {
+		t.Fatalf("merged weight = %g, want 20 (sum preserved)", w[0])
+	}
+}
+
+func TestCoresetEvictsAtCap(t *testing.T) {
+	m, err := New(Config{Dim: 2, Seed: 7, MaxObservations: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(15))
+	// Disjoint thin boxes along dimension 0: nothing merges.
+	for i := 0; i < 12; i++ {
+		lo := []float64{float64(i) / 12, 0.1}
+		hi := []float64{float64(i)/12 + 0.02, 0.9}
+		if err := m.Observe(geom.NewBox(lo, hi), 0.02*rng.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.NumObserved(); got != 5 {
+		t.Fatalf("capped history holds %d records, want 5", got)
+	}
+	if err := m.Train(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoresetEstimatesBoundedVsUnmerged(t *testing.T) {
+	const d = 2
+	mk := func(maxObs int) *Model {
+		m, err := New(Config{Dim: d, Seed: 8, FixedSubpops: 50, MaxObservations: maxObs, MergeThreshold: 0.85, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	merged, unmerged := mk(12), mk(0)
+	rng := rand.New(rand.NewSource(16))
+	// A clustered workload: 6 anchor boxes, several jittered repeats each.
+	anchors := make([]geom.Box, 6)
+	for i := range anchors {
+		anchors[i] = randBox(rng, d)
+	}
+	feed := rand.New(rand.NewSource(17))
+	for i := 0; i < 48; i++ {
+		b := jitterBox(feed, anchors[i%len(anchors)], 0.005)
+		sel := b.Volume()
+		if err := merged.Observe(b, sel); err != nil {
+			t.Fatal(err)
+		}
+		if err := unmerged.Observe(b, sel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.NumObserved() >= unmerged.NumObserved() {
+		t.Fatalf("coreset did not shrink the history: %d vs %d", merged.NumObserved(), unmerged.NumObserved())
+	}
+	if err := merged.Train(); err != nil {
+		t.Fatal(err)
+	}
+	if err := unmerged.Train(); err != nil {
+		t.Fatal(err)
+	}
+	probes := rand.New(rand.NewSource(18))
+	var worst, se2Merged, se2Unmerged float64
+	const nProbes = 50
+	for i := 0; i < nProbes; i++ {
+		b := randBox(probes, d)
+		truth := b.Volume() // the workload's generative model: sel = volume
+		em, err := merged.Estimate(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eu, err := unmerged.Estimate(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := math.Abs(em - eu); diff > worst {
+			worst = diff
+		}
+		se2Merged += (em - truth) * (em - truth)
+		se2Unmerged += (eu - truth) * (eu - truth)
+	}
+	// Point-wise the two models also differ by subpopulation sampling noise
+	// (different histories draw different centers), so bound the divergence
+	// loosely and the accuracy loss tightly: collapsing near-duplicates must
+	// not degrade the model's error against ground truth.
+	if worst > 0.15 {
+		t.Fatalf("coreset-merged estimates diverge from unmerged by %g (> 0.15)", worst)
+	}
+	rmsMerged := math.Sqrt(se2Merged / nProbes)
+	rmsUnmerged := math.Sqrt(se2Unmerged / nProbes)
+	if rmsMerged > rmsUnmerged+0.03 {
+		t.Fatalf("coreset RMS error %g exceeds unmerged %g by more than 0.03", rmsMerged, rmsUnmerged)
+	}
+}
+
+func TestWarmCoresetMergeAndEvictStayConsistent(t *testing.T) {
+	// Merges and evictions of observations already folded into the warm
+	// factorization must surface as remove/add deltas so the incremental
+	// solve matches the frozen cold solve of the post-edit history.
+	m, err := New(Config{Dim: 2, Seed: 9, FixedSubpops: 50, WarmStart: true,
+		MaxObservations: 15, MergeThreshold: 0.8, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(19))
+	anchors := make([]geom.Box, 5)
+	for i := range anchors {
+		anchors[i] = randBox(rng, 2)
+	}
+	for i := 0; i < 15; i++ {
+		b := jitterBox(rng, anchors[i%len(anchors)], 0.005)
+		if err := m.Observe(b, b.Volume()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Train(); err != nil {
+		t.Fatal(err)
+	}
+	// These repeats merge into folded records (remove+add deltas) and the
+	// fresh disjoint boxes evict folded records (remove deltas).
+	for i := 0; i < 4; i++ {
+		b := jitterBox(rng, anchors[i], 0.005)
+		if err := m.Observe(b, b.Volume()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lo := []float64{0.001, 0.001}
+	hi := []float64{0.004, 0.004}
+	if err := m.Observe(geom.NewBox(lo, hi), 0.00001); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Train(); err != nil {
+		t.Fatal(err)
+	}
+	if m.TrainMode() != TrainModeIncremental {
+		t.Fatalf("train mode = %q, want incremental", m.TrainMode())
+	}
+	cold, err := m.TrainFrozenForTest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := weightsRelErr(m.Weights(), cold); e > 1e-6 {
+		t.Fatalf("warm coreset-edited solve vs frozen cold rel err %g", e)
+	}
+}
+
+func TestWarmCloneTrainsBitIdentically(t *testing.T) {
+	m, err := New(Config{Dim: 3, Seed: 10, FixedSubpops: 40, WarmStart: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(20))
+	observeRandom(t, m, rng, 3, 12)
+	if err := m.Train(); err != nil {
+		t.Fatal(err)
+	}
+	observeRandom(t, m, rng, 3, 4)
+	c := m.Clone()
+	if err := m.Train(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Train(); err != nil {
+		t.Fatal(err)
+	}
+	if m.TrainMode() != TrainModeIncremental || c.TrainMode() != TrainModeIncremental {
+		t.Fatalf("modes: orig=%q clone=%q", m.TrainMode(), c.TrainMode())
+	}
+	mw, cw := m.Weights(), c.Weights()
+	for i := range mw {
+		if mw[i] != cw[i] {
+			t.Fatalf("clone trained differently at weight %d: %v vs %v", i, mw[i], cw[i])
+		}
+	}
+	// Diverge after the fork: training the clone further must not touch the
+	// original's factorization.
+	before := m.Weights()
+	observeRandom(t, c, rng, 3, 2)
+	if err := c.Train(); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Weights()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("training the clone mutated the original")
+		}
+	}
+}
+
+func TestSnapshotRoundTripCarriesWeights(t *testing.T) {
+	m, err := New(Config{Dim: 2, Seed: 11, MaxObservations: 6, MergeThreshold: 0.8, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	base := randBox(rng, 2)
+	for i := 0; i < 10; i++ {
+		b := jitterBox(rng, base, 0.005)
+		if err := m.Observe(b, b.Volume()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Train(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(m.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw, rw := m.ObservationWeightsForTest(), r.ObservationWeightsForTest()
+	if len(mw) != len(rw) {
+		t.Fatalf("restored %d observations, want %d", len(rw), len(mw))
+	}
+	for i := range mw {
+		if mw[i] != rw[i] {
+			t.Fatalf("weight %d: %g vs %g", i, rw[i], mw[i])
+		}
+	}
+	probe := randBox(rng, 2)
+	em, err := m.Estimate(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, err := r.Estimate(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em != er {
+		t.Fatalf("restored estimate %v differs from original %v", er, em)
+	}
+}

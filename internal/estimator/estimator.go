@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 
+	"quicksel/internal/core"
 	"quicksel/internal/geom"
 	"quicksel/internal/lifecycle"
 )
@@ -86,6 +87,9 @@ type Config struct {
 	Lambda             float64
 	UseIterativeSolver bool
 	Workers            int
+	WarmStart          bool
+	MaxObservations    int
+	MergeThreshold     float64
 
 	// MaxBuckets bounds the bucket tree (STHoles) or the disjoint partition
 	// (Isomer, MaxEnt). 0 keeps the method's serving default.
@@ -201,6 +205,47 @@ func FitPending(b Backend) bool {
 		return lf.fitPending()
 	}
 	return false
+}
+
+// cloner is implemented by backends that can deep-copy themselves in
+// process, preserving state a snapshot round trip would lose (QuickSel's
+// warm-start factorization).
+type cloner interface {
+	cloneBackend() Backend
+}
+
+// Clone returns an independent copy of the backend. Backends that implement
+// the in-process cloner keep their full state (including the warm-start
+// factorization); every other backend round-trips through Snapshot/Restore,
+// which is state-equivalent by the snapshot contract.
+func Clone(b Backend) (Backend, error) {
+	if c, ok := b.(cloner); ok {
+		return c.cloneBackend(), nil
+	}
+	state, err := b.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("estimator: clone snapshot: %w", err)
+	}
+	return Restore(b.Method(), state)
+}
+
+// trainModer is implemented by backends that distinguish incremental from
+// full training runs.
+type trainModer interface {
+	trainMode() string
+}
+
+// TrainMode reports how the backend's last Train call fitted the model:
+// "incremental" when it re-solved from kept state, "full" otherwise. Every
+// backend without an incremental path refits from its whole state, which is
+// a full train by definition.
+func TrainMode(b Backend) string {
+	if tm, ok := b.(trainModer); ok {
+		if mode := tm.trainMode(); mode != "" {
+			return mode
+		}
+	}
+	return core.TrainModeFull
 }
 
 // estimateDisjoint sums a per-box estimator over disjoint boxes and clamps

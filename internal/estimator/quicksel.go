@@ -27,6 +27,9 @@ func newQuickSel(cfg Config) (*quickselBackend, error) {
 		Lambda:             cfg.Lambda,
 		UseIterativeSolver: cfg.UseIterativeSolver,
 		Workers:            cfg.Workers,
+		WarmStart:          cfg.WarmStart,
+		MaxObservations:    cfg.MaxObservations,
+		MergeThreshold:     cfg.MergeThreshold,
 	})
 	if err != nil {
 		return nil, err
@@ -68,6 +71,12 @@ func (b *quickselBackend) Estimate(boxes []geom.Box) (float64, error) {
 func (b *quickselBackend) Train() error { return b.m.Train() }
 
 func (b *quickselBackend) fitPending() bool { return b.m.NeedsTraining() }
+
+func (b *quickselBackend) trainMode() string { return b.m.TrainMode() }
+
+// cloneBackend deep-copies the model in process, keeping the warm-start
+// factorization a snapshot round trip would drop.
+func (b *quickselBackend) cloneBackend() Backend { return &quickselBackend{m: b.m.Clone()} }
 
 func (b *quickselBackend) Snapshot() (json.RawMessage, error) {
 	return json.Marshal(b.m.Snapshot())

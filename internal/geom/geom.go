@@ -205,6 +205,24 @@ func (b Box) IntersectionVolume(other Box) float64 {
 	return v
 }
 
+// Jaccard returns the volume-based Jaccard similarity |b ∩ other| / |b ∪
+// other| of two boxes, in [0, 1]. The union volume is |b| + |other| − |b ∩
+// other| (inclusion-exclusion; the union of two boxes is generally not a
+// box, but its volume is exact). Two boxes with zero union volume — both
+// empty — have similarity 0. The observation coreset (internal/core) merges
+// feedback whose predicate boxes exceed a Jaccard threshold.
+func (b Box) Jaccard(other Box) float64 {
+	inter := b.IntersectionVolume(other)
+	if inter <= 0 {
+		return 0
+	}
+	union := b.Volume() + other.Volume() - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}
+
 // Clip returns b intersected with bounds, clamping rather than dropping: the
 // result is always a valid (possibly empty) box lying inside bounds.
 func (b Box) Clip(bounds Box) Box {

@@ -176,12 +176,28 @@ func SolveSPD(m *Matrix, b []float64) (x []float64, ridge float64, err error) {
 // SolveSPDWorkers is SolveSPD with an explicit worker count for the
 // factorization (0 = GOMAXPROCS, 1 = sequential).
 func SolveSPDWorkers(m *Matrix, b []float64, workers int) (x []float64, ridge float64, err error) {
+	if m.Rows == 0 && m.Cols == 0 {
+		return nil, 0, nil
+	}
+	ch, ridge, err := FactorSPD(m, workers)
+	if err != nil {
+		return nil, ridge, err
+	}
+	return ch.Solve(b), ridge, nil
+}
+
+// FactorSPD factors the symmetric positive-(semi)definite matrix m with the
+// same escalating-ridge schedule as SolveSPD, returning the factor and the
+// ridge that made it succeed. The input is not modified. Callers that keep
+// the factor warm across solves (internal/qp.WarmState) must re-apply the
+// same ridge when they rebuild the system.
+func FactorSPD(m *Matrix, workers int) (c *Cholesky, ridge float64, err error) {
 	if m.Rows != m.Cols {
 		return nil, 0, fmt.Errorf("linalg: SolveSPD of non-square %d×%d matrix", m.Rows, m.Cols)
 	}
 	n := m.Rows
 	if n == 0 {
-		return nil, 0, nil
+		return &Cholesky{}, 0, nil
 	}
 	var trace float64
 	for i := 0; i < n; i++ {
@@ -203,7 +219,7 @@ func SolveSPDWorkers(m *Matrix, b []float64, workers int) (x []float64, ridge fl
 		}
 		ch, cerr := NewCholeskyWorkers(work, workers)
 		if cerr == nil {
-			return ch.Solve(b), ridge, nil
+			return ch, ridge, nil
 		}
 	}
 	return nil, ridge, ErrNotSPD

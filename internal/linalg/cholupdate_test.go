@@ -1,0 +1,254 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// reconstruct returns L·Lᵀ of the factor.
+func reconstruct(c *Cholesky) *Matrix {
+	n := c.n
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			var s float64
+			for k := 0; k <= j; k++ {
+				s += c.l[i*n+k] * c.l[j*n+k]
+			}
+			m.Set(i, j, s)
+			m.Set(j, i, s)
+		}
+	}
+	return m
+}
+
+func maxAbsDiff(a, b *Matrix) float64 {
+	var worst float64
+	for i := range a.Data {
+		if d := math.Abs(a.Data[i] - b.Data[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func randomVec(rng *rand.Rand, n, scale float64) []float64 {
+	v := make([]float64, int(n))
+	for i := range v {
+		v[i] = scale * (rng.Float64() - 0.5)
+	}
+	return v
+}
+
+func TestUpdateMatchesRefactorization(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		for _, n := range []int{1, 3, 8, 33} {
+			rng := rand.New(rand.NewSource(seed))
+			m := randomSPD(rng, n)
+			ch, err := NewCholesky(m)
+			if err != nil {
+				t.Fatalf("seed=%d n=%d: %v", seed, n, err)
+			}
+			v := randomVec(rng, float64(n), 1)
+			ch.Update(v)
+			want := m.Clone()
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					want.Data[i*n+j] += v[i] * v[j]
+				}
+			}
+			got := reconstruct(ch)
+			if d := maxAbsDiff(got, want); d > 1e-9 {
+				t.Fatalf("seed=%d n=%d: updated factor off by %g", seed, n, d)
+			}
+		}
+	}
+}
+
+func TestDowndateUndoesUpdate(t *testing.T) {
+	for _, seed := range []int64{4, 5} {
+		for _, n := range []int{2, 7, 25} {
+			rng := rand.New(rand.NewSource(seed))
+			m := randomSPD(rng, n)
+			ch, err := NewCholesky(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := randomVec(rng, float64(n), 0.5)
+			ch.Update(v)
+			if err := ch.Downdate(v); err != nil {
+				t.Fatalf("seed=%d n=%d: downdate of just-added vector failed: %v", seed, n, err)
+			}
+			if d := maxAbsDiff(reconstruct(ch), m); d > 1e-9 {
+				t.Fatalf("seed=%d n=%d: round trip off by %g", seed, n, d)
+			}
+		}
+	}
+}
+
+func TestDowndateRejectsLosingDefiniteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := randomSPD(rng, 10)
+	ch, err := NewCholesky(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := reconstruct(ch)
+	// Removing 10·e0·e0ᵀ drives the (0,0) entry far negative.
+	v := make([]float64, 10)
+	v[0] = 10
+	if err := ch.Downdate(v); !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("Downdate = %v, want ErrNotSPD", err)
+	}
+	// The feasibility pre-check fails before any column is rewritten.
+	if d := maxAbsDiff(reconstruct(ch), before); d != 0 {
+		t.Fatalf("factor modified by rejected downdate (off by %g)", d)
+	}
+}
+
+// borderedRows extracts rows n0..n-1 of m as AppendBlock input.
+func borderedRows(m *Matrix, n0 int) [][]float64 {
+	rows := make([][]float64, m.Rows-n0)
+	for t := range rows {
+		rows[t] = append([]float64(nil), m.Row(n0+t)...)
+	}
+	return rows
+}
+
+func TestAppendBlockBitIdenticalToRefactorization(t *testing.T) {
+	for _, seed := range []int64{7, 8} {
+		for _, split := range []struct{ n0, k int }{{0, 5}, {1, 1}, {10, 3}, {20, 13}, {63, 2}, {64, 65}} {
+			rng := rand.New(rand.NewSource(seed))
+			n := split.n0 + split.k
+			m := randomSPD(rng, n)
+			full, err := NewCholeskyWorkers(m, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lead := &Matrix{Rows: split.n0, Cols: split.n0, Data: make([]float64, split.n0*split.n0)}
+			for i := 0; i < split.n0; i++ {
+				copy(lead.Data[i*split.n0:(i+1)*split.n0], m.Row(i)[:split.n0])
+			}
+			ch, err := NewCholeskyWorkers(lead, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ch.AppendBlock(borderedRows(m, split.n0)); err != nil {
+				t.Fatalf("seed=%d n0=%d k=%d: %v", seed, split.n0, split.k, err)
+			}
+			if ch.n != full.n {
+				t.Fatalf("appended factor has n=%d, want %d", ch.n, full.n)
+			}
+			for i := range ch.l {
+				if ch.l[i] != full.l[i] {
+					t.Fatalf("seed=%d n0=%d k=%d: appended factor differs from refactorization at flat index %d: %v vs %v",
+						seed, split.n0, split.k, i, ch.l[i], full.l[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDropLastAppendRoundTripBitIdentical(t *testing.T) {
+	for _, seed := range []int64{9, 10} {
+		rng := rand.New(rand.NewSource(seed))
+		n, k := 30, 7
+		m := randomSPD(rng, n)
+		ch, err := NewCholeskyWorkers(m, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := ch.Clone()
+		ch.DropLast(k)
+		if ch.N() != n-k {
+			t.Fatalf("DropLast left n=%d, want %d", ch.N(), n-k)
+		}
+		if err := ch.AppendBlock(borderedRows(m, n-k)); err != nil {
+			t.Fatal(err)
+		}
+		for i := range ch.l {
+			if ch.l[i] != orig.l[i] {
+				t.Fatalf("seed=%d: round trip differs at flat index %d", seed, i)
+			}
+		}
+	}
+}
+
+func TestAppendBlockRejectsIndefiniteExtension(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := randomSPD(rng, 4)
+	ch, err := NewCholesky(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ch.Clone()
+	// Border with row 0's off-diagonals but a zero diagonal: the Schur
+	// complement is strictly negative, so the bordered matrix is indefinite.
+	row := make([]float64, 5)
+	copy(row, m.Row(0)[:4])
+	row[4] = 0
+	if err := ch.AppendBlock([][]float64{row}); !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("AppendBlock = %v, want ErrNotSPD", err)
+	}
+	if ch.n != before.n {
+		t.Fatal("failed AppendBlock must leave the factor unchanged")
+	}
+	for i := range ch.l {
+		if ch.l[i] != before.l[i] {
+			t.Fatal("failed AppendBlock modified the factor")
+		}
+	}
+}
+
+func TestAppendBlockDimensionError(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	ch, err := NewCholesky(randomSPD(rng, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.AppendBlock([][]float64{{1, 2, 3}}); err == nil {
+		t.Fatal("want dimension error for short row")
+	}
+}
+
+func TestFactorSPDMatchesSolveSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{1, 6, 40} {
+		m := randomSPD(rng, n)
+		b := randomVec(rng, float64(n), 1)
+		x1, r1, err := SolveSPDWorkers(m, b, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, r2, err := FactorSPD(m, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1 != r2 {
+			t.Fatalf("ridge mismatch: %g vs %g", r1, r2)
+		}
+		x2 := ch.Solve(b)
+		for i := range x1 {
+			if x1[i] != x2[i] {
+				t.Fatalf("n=%d: FactorSPD+Solve differs from SolveSPD at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestFactorSPDAppliesRidgeToSingular(t *testing.T) {
+	// Rank-1 matrix: needs the escalating ridge.
+	m := FromRows([][]float64{{1, 1}, {1, 1}})
+	ch, ridge, err := FactorSPD(m, 1)
+	if err != nil {
+		t.Fatalf("FactorSPD: %v", err)
+	}
+	if ridge <= 0 {
+		t.Fatalf("ridge = %g, want > 0", ridge)
+	}
+	if ch.N() != 2 {
+		t.Fatalf("n = %d", ch.N())
+	}
+}

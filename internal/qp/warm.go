@@ -1,0 +1,107 @@
+package qp
+
+import (
+	"fmt"
+	"math"
+
+	"quicksel/internal/linalg"
+)
+
+// WarmState is the reusable half of an analytic solve: the Cholesky factor
+// of M = Q + λAᵀA (including the ridge SolveSPD escalated to), the
+// right-hand side λAᵀs, and the penalty weight. As long as the
+// subpopulations — and therefore Q and the columns of A — stay fixed, each
+// new observation row a contributes the rank-1 term λw·aaᵀ to M and λw·s·a
+// to the right-hand side, so re-solving after a batch of r feedback edits
+// costs O(r·m²) instead of the O(m³/3) refactorization.
+type WarmState struct {
+	chol   *linalg.Cholesky
+	rhs    []float64
+	lambda float64
+	ridge  float64
+	edits  int // rank-1 edits applied since the full factorization
+}
+
+// SolveAnalyticWarm is SolveAnalytic, additionally returning the warm state
+// of the factorization it performed. The weights are bit-identical to
+// SolveAnalytic's: the same assembly, the same ridge schedule, the same
+// factorization and substitution.
+func SolveAnalyticWarm(p *Problem) ([]float64, *WarmState, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	m, rhs := p.assemble()
+	chol, ridge, err := linalg.FactorSPD(m, p.Workers)
+	if err != nil {
+		return nil, nil, fmt.Errorf("qp: analytic solve: %w", err)
+	}
+	return chol.Solve(rhs), &WarmState{chol: chol, rhs: rhs, lambda: p.lambda(), ridge: ridge}, nil
+}
+
+// Dim returns the number of subpopulation weights the state solves for.
+func (ws *WarmState) Dim() int { return ws.chol.N() }
+
+// Ridge returns the diagonal ridge baked into the kept factorization.
+func (ws *WarmState) Ridge() float64 { return ws.ridge }
+
+// Edits returns the number of rank-1 edits applied since the last full
+// factorization; callers bound it to limit rounding drift.
+func (ws *WarmState) Edits() int { return ws.edits }
+
+// AddRow folds one weighted constraint row (a, s, w) into the system:
+// M += λw·aaᵀ, rhs += λw·s·a. a is not modified.
+func (ws *WarmState) AddRow(a []float64, s, weight float64) {
+	scale := ws.lambda * weight
+	root := math.Sqrt(scale)
+	u := make([]float64, len(a))
+	for i, v := range a {
+		u[i] = root * v
+	}
+	ws.chol.Update(u)
+	rs := scale * s
+	for i, v := range a {
+		ws.rhs[i] += rs * v
+	}
+	ws.edits++
+}
+
+// RemoveRow subtracts a previously added constraint row: M −= λw·aaᵀ,
+// rhs −= λw·s·a. It fails with linalg.ErrNotSPD when the downdate would
+// lose positive definiteness (e.g. the row was never part of the system);
+// the state is then stale and must be discarded — the core layer falls back
+// to a full refactorization.
+func (ws *WarmState) RemoveRow(a []float64, s, weight float64) error {
+	scale := ws.lambda * weight
+	root := math.Sqrt(scale)
+	u := make([]float64, len(a))
+	for i, v := range a {
+		u[i] = root * v
+	}
+	if err := ws.chol.Downdate(u); err != nil {
+		return fmt.Errorf("qp: warm downdate: %w", err)
+	}
+	rs := scale * s
+	for i, v := range a {
+		ws.rhs[i] -= rs * v
+	}
+	ws.edits++
+	return nil
+}
+
+// Solve returns the weights of the current (edited) system via two
+// triangular substitutions — O(m²).
+func (ws *WarmState) Solve() []float64 {
+	return ws.chol.Solve(ws.rhs)
+}
+
+// Clone returns an independent deep copy, so a cloned model can keep
+// retraining incrementally without aliasing the original's factorization.
+func (ws *WarmState) Clone() *WarmState {
+	return &WarmState{
+		chol:   ws.chol.Clone(),
+		rhs:    append([]float64(nil), ws.rhs...),
+		lambda: ws.lambda,
+		ridge:  ws.ridge,
+		edits:  ws.edits,
+	}
+}

@@ -251,6 +251,9 @@ type createOptions struct {
 	Lambda             float64 `json:"lambda,omitempty"`
 	IterativeSolver    bool    `json:"iterative_solver,omitempty"`
 	Workers            int     `json:"workers,omitempty"`
+	WarmStart          bool    `json:"warm_start,omitempty"`
+	MaxObservations    int     `json:"max_observations,omitempty"`
+	MergeThreshold     float64 `json:"merge_threshold,omitempty"`
 	MaxBuckets         int     `json:"max_buckets,omitempty"`
 	SampleSize         int     `json:"sample_size,omitempty"`
 	GridBuckets        int     `json:"grid_buckets,omitempty"`
@@ -291,6 +294,15 @@ func (o *createOptions) toOptions() []quicksel.Option {
 	}
 	if o.Workers > 0 {
 		opts = append(opts, quicksel.WithWorkers(o.Workers))
+	}
+	if o.WarmStart {
+		opts = append(opts, quicksel.WithWarmStart())
+	}
+	if o.MaxObservations > 0 {
+		opts = append(opts, quicksel.WithMaxObservations(o.MaxObservations))
+	}
+	if o.MergeThreshold > 0 {
+		opts = append(opts, quicksel.WithMergeThreshold(o.MergeThreshold))
 	}
 	if o.MaxBuckets > 0 {
 		opts = append(opts, quicksel.WithMaxBuckets(o.MaxBuckets))

@@ -152,6 +152,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		func(in EstimatorInfo) string { return fmt.Sprintf("%d", in.Estimates) })
 	perEst("quickseld_train_runs_total", "Background training runs completed.", "counter",
 		func(in EstimatorInfo) string { return fmt.Sprintf("%d", in.TrainRuns) })
+	// Per-mode training runs: full refits vs warm-start incremental re-solves
+	// (QuickSel with WithWarmStart; every other method only ever trains full).
+	fmt.Fprintf(&b, "# HELP quickseld_train_runs_by_mode_total Background training runs completed, by training mode.\n# TYPE quickseld_train_runs_by_mode_total counter\n")
+	for _, in := range infos {
+		fmt.Fprintf(&b, "quickseld_train_runs_by_mode_total{estimator=%q,method=%q,train_mode=\"full\"} %d\n", in.Name, in.Method, in.TrainRunsFull)
+		fmt.Fprintf(&b, "quickseld_train_runs_by_mode_total{estimator=%q,method=%q,train_mode=\"incremental\"} %d\n", in.Name, in.Method, in.TrainRunsIncr)
+	}
 	perEst("quickseld_train_errors_total", "Training runs that failed (batch requeued).", "counter",
 		func(in EstimatorInfo) string { return fmt.Sprintf("%d", in.TrainErrors) })
 	perEst("quickseld_observation_backlog", "Observations queued awaiting training.", "gauge",
@@ -202,8 +209,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		func(st *estimatorState) obs.HistSnapshot { return st.estimateHist.Snapshot() })
 	perEstHist("quickseld_estimate_batch_duration_seconds", "Batch-estimate latency, whole batch.",
 		func(st *estimatorState) obs.HistSnapshot { return st.batchHist.Snapshot() })
-	perEstHist("quickseld_train_duration_seconds", "Background training run latency, flush to swap.",
-		func(st *estimatorState) obs.HistSnapshot { return st.trainHist.Snapshot() })
+	// Training latency carries a train_mode label: full refits and failed
+	// runs land in the "full" series, warm-start incremental re-solves in
+	// "incremental", so dashboards can see the speedup directly.
+	fmt.Fprintf(&b, "# HELP quickseld_train_duration_seconds Background training run latency, flush to swap, by training mode.\n# TYPE quickseld_train_duration_seconds histogram\n")
+	for i, st := range states {
+		st.trainHist.Snapshot().WritePrometheus(&b, "quickseld_train_duration_seconds", labels[i]+`,train_mode="full"`)
+		st.trainIncrHist.Snapshot().WritePrometheus(&b, "quickseld_train_duration_seconds", labels[i]+`,train_mode="incremental"`)
+	}
 
 	hist := func(name, help string, snap obs.HistSnapshot) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)

@@ -204,7 +204,10 @@ type estimatorState struct {
 	promotions    uint64        // trained models swapped into the serving slot
 	rejections    uint64        // trained challengers the gate turned down
 	rollbacks     uint64        // explicit rollbacks served
+	trainsFull    uint64        // completed runs that refit from scratch
+	trainsIncr    uint64        // completed runs that re-solved from warm state
 	lastTrainErr  string        // message of the last failed run ("" if the last run succeeded)
+	lastTrainMode string        // how the last successful run fitted ("full"/"incremental")
 	lastTrainDur  time.Duration // duration of the last training run
 	lastTrainAt   time.Time
 
@@ -214,10 +217,11 @@ type estimatorState struct {
 	// Latency histograms (lock-free atomics; recorded outside mu, exported
 	// on /metrics with estimator+method labels and summarized as
 	// percentiles in EstimatorInfo).
-	observeHist  obs.Histogram // ObserveParsed, decode to durable ack
-	estimateHist obs.Histogram // single Estimate
-	batchHist    obs.Histogram // EstimateBatch, whole batch
-	trainHist    obs.Histogram // flushAndTrain runs
+	observeHist   obs.Histogram // ObserveParsed, decode to durable ack
+	estimateHist  obs.Histogram // single Estimate
+	batchHist     obs.Histogram // EstimateBatch, whole batch
+	trainHist     obs.Histogram // flushAndTrain full-mode runs (and failed runs)
+	trainIncrHist obs.Histogram // flushAndTrain incremental (warm-start) runs
 }
 
 // Registry is the concurrent estimator registry behind the HTTP API. Create
@@ -951,13 +955,15 @@ func (r *Registry) flushAndTrain(st *estimatorState) error {
 	}
 	head, tail := batch[:len(batch)-holdN], batch[len(batch)-holdN:]
 
-	// Clone via the snapshot API: the serving model keeps answering
-	// estimates while the clone absorbs the batch and pays the QP cost.
-	// Untracked: realized accuracy lives in the registry's own tracker
-	// (which survives model swaps), so a clone-side tracker would only pay
-	// an extra Estimate per absorbed record and persist meaningless
-	// training-time samples.
-	clone, err := quicksel.RestoreUntracked(base.Snapshot())
+	// Clone in process: the serving model keeps answering estimates while
+	// the clone absorbs the batch and pays the QP cost. Unlike the earlier
+	// snapshot round trip, CloneForTraining keeps QuickSel's warm-start
+	// factorization, so a small batch on a frozen subpopulation budget
+	// retrains incrementally instead of refactoring. Untracked: realized
+	// accuracy lives in the registry's own tracker (which survives model
+	// swaps), so a clone-side tracker would only pay an extra Estimate per
+	// absorbed record and persist meaningless training-time samples.
+	clone, err := base.CloneForTraining()
 	if err == nil {
 		for _, o := range head {
 			if err = clone.Observe(o.pred, o.sel); err != nil {
@@ -1014,6 +1020,9 @@ func (r *Registry) flushAndTrain(st *estimatorState) error {
 	if err != nil {
 		return r.trainFailed(st, sp, batch, start, err)
 	}
+	// The mode of the run's last Train call: "incremental" when the clone
+	// re-solved from its inherited warm factorization, "full" otherwise.
+	mode := clone.TrainMode()
 	dur := time.Since(start)
 
 	origin := lifecycle.OriginTrained
@@ -1040,12 +1049,22 @@ func (r *Registry) flushAndTrain(st *estimatorState) error {
 	}
 	st.lastGate = gate
 	st.trainedTotal++
+	if mode == quicksel.TrainModeIncremental {
+		st.trainsIncr++
+	} else {
+		st.trainsFull++
+	}
 	st.lastTrainErr = ""
+	st.lastTrainMode = mode
 	st.lastTrainDur = dur
 	st.lastTrainAt = time.Now()
 	st.mu.Unlock()
 	sp.Stage("swap")
-	st.trainHist.Observe(dur)
+	if mode == quicksel.TrainModeIncremental {
+		st.trainIncrHist.Observe(dur)
+	} else {
+		st.trainHist.Observe(dur)
+	}
 	typ := walRecPromotion
 	verdict := "promoted"
 	if !promote {
@@ -1242,8 +1261,11 @@ type EstimatorInfo struct {
 	Backlog       int     `json:"backlog"`
 	Estimates     uint64  `json:"estimates_total"`
 	TrainRuns     uint64  `json:"train_runs"`
+	TrainRunsFull uint64  `json:"train_runs_full"`
+	TrainRunsIncr uint64  `json:"train_runs_incremental"`
 	TrainErrors   uint64  `json:"train_errors"`
 	LastTrainErr  string  `json:"last_train_error,omitempty"`
+	LastTrainMode string  `json:"last_train_mode,omitempty"`
 	LastTrainSecs float64 `json:"last_train_seconds"`
 	Params        int     `json:"params"`
 
@@ -1283,8 +1305,11 @@ func (r *Registry) info(st *estimatorState) EstimatorInfo {
 		Backlog:       len(st.pending),
 		Estimates:     st.estimateTotal.Load(),
 		TrainRuns:     st.trainedTotal,
+		TrainRunsFull: st.trainsFull,
+		TrainRunsIncr: st.trainsIncr,
 		TrainErrors:   st.trainErrors,
 		LastTrainErr:  st.lastTrainErr,
+		LastTrainMode: st.lastTrainMode,
 		LastTrainSecs: st.lastTrainDur.Seconds(),
 		Params:        st.serving.ParamCount(),
 		Policy:        string(st.life.Policy),

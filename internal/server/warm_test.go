@@ -1,0 +1,198 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"quicksel"
+)
+
+// warmSchema is a 2-column schema whose predicates the warm tests generate
+// from a counter, so every observation is distinct but deterministic.
+func warmSchema(t *testing.T) *quicksel.Schema {
+	t.Helper()
+	schema, err := quicksel.NewSchema(
+		quicksel.Column{Name: "x", Kind: quicksel.Real, Min: 0, Max: 100},
+		quicksel.Column{Name: "y", Kind: quicksel.Real, Min: 0, Max: 100},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return schema
+}
+
+func warmWhere(i int) string {
+	lo := float64(i%80) + 0.25
+	return fmt.Sprintf("x BETWEEN %g AND %g AND y >= %g", lo, lo+15, float64((i*7)%60))
+}
+
+// TestRegistryWarmStartTrainsIncrementally drives the registry's
+// clone-train-swap cycle over a warm-started estimator with a frozen
+// subpopulation budget and checks that the second and later runs re-solve
+// incrementally: the in-process training clone (CloneForTraining) must carry
+// the warm factorization across swaps, and the per-mode stats and metrics
+// must report it.
+func TestRegistryWarmStartTrainsIncrementally(t *testing.T) {
+	reg, err := NewRegistry(Config{TrainInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	if err := reg.Create("warm", warmSchema(t),
+		quicksel.WithWarmStart(),
+		quicksel.WithFixedSubpopulations(40),
+		quicksel.WithWorkers(1),
+	); err != nil {
+		t.Fatal(err)
+	}
+
+	// First batch: the budget is freshly frozen, so the first run is a full
+	// train that seeds the warm state.
+	for i := 0; i < 30; i++ {
+		if _, _, err := reg.Observe("warm", warmWhere(i), 0.2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := reg.Train("warm"); err != nil {
+		t.Fatal(err)
+	}
+	info := reg.List()[0]
+	if info.LastTrainMode != quicksel.TrainModeFull {
+		t.Fatalf("first run mode = %q, want %q", info.LastTrainMode, quicksel.TrainModeFull)
+	}
+
+	// Small follow-up batches fit the warm budget (<= m/4 edits) and must
+	// re-solve incrementally, across several clone-train-swap cycles.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 5; i++ {
+			if _, _, err := reg.Observe("warm", warmWhere(100+10*round+i), 0.15); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := reg.Train("warm"); err != nil {
+			t.Fatal(err)
+		}
+		info = reg.List()[0]
+		if info.LastTrainMode != quicksel.TrainModeIncremental {
+			t.Fatalf("round %d mode = %q, want %q", round, info.LastTrainMode, quicksel.TrainModeIncremental)
+		}
+	}
+	if info.TrainRunsIncr < 3 {
+		t.Fatalf("incremental runs = %d, want >= 3", info.TrainRunsIncr)
+	}
+	if info.TrainRunsFull < 1 {
+		t.Fatalf("full runs = %d, want >= 1", info.TrainRunsFull)
+	}
+	if got := info.TrainRunsFull + info.TrainRunsIncr; got != info.TrainRuns {
+		t.Fatalf("per-mode runs %d don't sum to total %d", got, info.TrainRuns)
+	}
+
+	// The trained estimates still serve.
+	sel, err := reg.Estimate("warm", warmWhere(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel < 0 || sel > 1 {
+		t.Fatalf("estimate %v out of [0, 1]", sel)
+	}
+}
+
+// TestWarmSwapHammer races Estimate and Observe against back-to-back
+// incremental retrain swaps. Run under -race it locks down the swap path:
+// the serving model must never be mutated in place by the training clone,
+// and TrainMode/List must be safe concurrent reads.
+func TestWarmSwapHammer(t *testing.T) {
+	reg, err := NewRegistry(Config{TrainInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	if err := reg.Create("hammer", warmSchema(t),
+		quicksel.WithWarmStart(),
+		quicksel.WithFixedSubpopulations(30),
+		quicksel.WithWorkers(1),
+	); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, _, err := reg.Observe("hammer", warmWhere(i), 0.25); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := reg.Train("hammer"); err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 4
+	var stop atomic.Bool
+	var seq atomic.Int64
+	seq.Store(1000)
+	errs := make(chan error, goroutines*2+1)
+	var wg sync.WaitGroup
+
+	// Estimators: hammer the serving model across swaps.
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				sel, err := reg.Estimate("hammer", warmWhere(g*13+i%50))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if sel < 0 || sel > 1 {
+					errs <- fmt.Errorf("estimate %v out of [0, 1]", sel)
+					return
+				}
+			}
+		}(g)
+	}
+	// Observers: keep the pending buffer fed with small warm-sized batches.
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if _, _, err := reg.Observe("hammer", warmWhere(int(seq.Add(1))), 0.2); err != nil {
+					errs <- err
+					return
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}()
+	}
+	// Trainer: force retrain swaps as fast as they complete.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			if err := reg.Train("hammer"); err != nil {
+				errs <- err
+				return
+			}
+			_ = reg.List() // concurrent stats/TrainMode reads
+		}
+	}()
+
+	time.Sleep(500 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	info := reg.List()[0]
+	if info.TrainRuns == 0 {
+		t.Fatal("hammer completed no training runs")
+	}
+	if info.TrainRunsIncr == 0 {
+		t.Fatalf("hammer completed %d runs, none incremental", info.TrainRuns)
+	}
+}

@@ -105,6 +105,38 @@ func WithWorkers(n int) Option {
 	return func(c *estimator.Config) { c.Workers = n }
 }
 
+// WithWarmStart keeps the analytic solver's Cholesky factorization between
+// training runs. While the subpopulation set is frozen — at the
+// subpopulation cap, or under WithFixedSubpopulations — a small feedback
+// batch retrains by rank-1 updates in O(batch·m²) instead of refactoring in
+// O(m³); larger batches, a growing subpopulation budget, or a restored
+// snapshot fall back to the full factorization transparently (see
+// Estimator.TrainMode). Warm retrains match full retrains to solver
+// rounding, not bit-for-bit. No effect with WithIterativeSolver.
+// QuickSel method only.
+func WithWarmStart() Option {
+	return func(c *estimator.Config) { c.WarmStart = true }
+}
+
+// WithMaxObservations caps the retained feedback history at n records using
+// the observation coreset: an incoming observation whose predicate box
+// overlaps a retained one above the merge threshold (Jaccard similarity)
+// merges into it — weighted-average corners and selectivity, summed weight —
+// and otherwise the minimum-weight record is evicted to make room. 0 (the
+// default) keeps the full history, the paper's behaviour. QuickSel method
+// only.
+func WithMaxObservations(n int) Option {
+	return func(c *estimator.Config) { c.MaxObservations = n }
+}
+
+// WithMergeThreshold sets the Jaccard overlap in (0,1] above which the
+// observation coreset merges two feedback records (default 0.9). Lower
+// values merge more aggressively, trading accuracy for a smaller history.
+// Only meaningful together with WithMaxObservations. QuickSel method only.
+func WithMergeThreshold(t float64) Option {
+	return func(c *estimator.Config) { c.MergeThreshold = t }
+}
+
 // WithMaxBuckets bounds the bucket tree (MethodSTHoles) or the disjoint
 // bucket partition (MethodIsomer, MethodMaxEnt). Fewer buckets mean less
 // memory and faster training at lower accuracy.

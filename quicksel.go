@@ -4,11 +4,23 @@ import (
 	"fmt"
 	"sync"
 
+	"quicksel/internal/core"
 	"quicksel/internal/estimator"
 	"quicksel/internal/geom"
 	"quicksel/internal/lifecycle"
 	"quicksel/internal/predicate"
 	"quicksel/internal/wal"
+)
+
+// Train modes reported by Estimator.TrainMode.
+const (
+	// TrainModeFull is a training run that refit the model from its whole
+	// retained state (the default, and the only mode of most methods).
+	TrainModeFull = core.TrainModeFull
+	// TrainModeIncremental is a training run that re-solved from the
+	// warm-start factorization kept by WithWarmStart: rank-1 updates for the
+	// new feedback instead of a full refactorization.
+	TrainModeIncremental = core.TrainModeIncremental
 )
 
 // Re-exported schema and predicate vocabulary. These alias the internal
@@ -228,6 +240,39 @@ func (e *Estimator) Train() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.backend.Train()
+}
+
+// TrainMode reports how the last training run fitted the model:
+// "incremental" when it re-solved from the warm-start factorization (see
+// WithWarmStart), "full" otherwise. Methods without an incremental path
+// always report "full".
+func (e *Estimator) TrainMode() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return estimator.TrainMode(e.backend)
+}
+
+// CloneForTraining returns an untracked deep copy of the estimator for the
+// clone-train-swap retraining cycle: the quickseld registry trains the clone
+// off the serving path, then promotes it. Unlike a snapshot round trip
+// (RestoreUntracked), the in-process clone keeps QuickSel's warm-start
+// factorization, so a cloned model can retrain incrementally. Like
+// RestoreUntracked, the clone has no accuracy tracker and no attached
+// write-ahead log, but it carries the source's WAL position so a snapshot
+// taken from the trained clone records the correct replay point.
+func (e *Estimator) CloneForTraining() (*Estimator, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b, err := estimator.Clone(e.backend)
+	if err != nil {
+		return nil, fmt.Errorf("quicksel: clone: %w", err)
+	}
+	return &Estimator{
+		schema:  e.schema,
+		backend: b,
+		life:    e.life,
+		walSeq:  e.walSeq,
+	}, nil
 }
 
 // Estimate returns the estimated selectivity of the predicate, in [0, 1].

@@ -11,12 +11,16 @@ import (
 )
 
 // SnapshotVersion is the format version of estimator snapshots produced by
-// this package. Version 4 adds the WalSeq field (the write-ahead-log
+// this package. Version 5 adds the observation-coreset fields of the
+// QuickSel model state (per-observation weights and the warm-start/coreset
+// configuration); version 4 added the WalSeq field (the write-ahead-log
 // position the snapshot covers); version 3 added the Lifecycle field
 // (accuracy-tracker state and lifecycle configuration); version 2 added the
 // Method field and the method-specific State payload. DecodeSnapshot and
-// Restore accept versions 1 (QuickSel method only) through 4.
-const SnapshotVersion = 4
+// Restore accept versions 1 (QuickSel method only) through 5. The warm-start
+// factorization itself is never serialized — a restored model's first
+// retrain is always a full train and rebuilds it.
+const SnapshotVersion = 5
 
 // Snapshot is the full serializable state of an Estimator: its schema, the
 // estimation method backing it, and the method's model state. A restored

@@ -1,10 +1,13 @@
 // Command gen regenerates the snapshot-envelope compatibility fixtures:
-// old-format (v1/v2) estimator envelopes and registry files, each paired
-// with probe WHERE clauses and the exact estimates the model produced when
-// the fixture was written. The compat tests (snapshot_compat_test.go,
-// internal/server/compat_test.go) restore the fixtures with current code
-// and require bit-identical estimates, so these files must never be
-// regenerated casually — they exist to freeze the old formats.
+// estimator envelopes at every supported format version (v1 through v5) and
+// old-format registry files, each paired with probe WHERE clauses and the
+// exact estimates the model produced when the fixture was written. The
+// compat tests (snapshot_compat_test.go, internal/server/compat_test.go)
+// restore the fixtures with current code and require bit-identical
+// estimates, so these files must never be regenerated casually — they exist
+// to freeze the old formats. Regenerating must leave the already-committed
+// old-version fixtures byte-identical; the version-aware downgrade below
+// strips every field the old format did not carry.
 //
 // Run from the repository root: go run ./testdata/gen
 package main
@@ -84,6 +87,63 @@ func buildEstimator(method string, seed int64) (*quicksel.Estimator, error) {
 	return est, nil
 }
 
+// buildWarmEstimator builds the v5 fixture model: warm-started, with an
+// observation coreset small enough that the near-duplicate observations
+// below merge (Jaccard 1) into weighted records.
+func buildWarmEstimator(seed int64) (*quicksel.Estimator, error) {
+	schema, err := quicksel.NewSchema(
+		quicksel.Column{Name: "age", Kind: quicksel.Integer, Min: 18, Max: 90},
+		quicksel.Column{Name: "salary", Kind: quicksel.Real, Min: 0, Max: 300_000},
+	)
+	if err != nil {
+		return nil, err
+	}
+	est, err := quicksel.New(schema,
+		quicksel.WithSeed(seed),
+		quicksel.WithWarmStart(),
+		quicksel.WithFixedSubpopulations(24),
+		quicksel.WithMaxObservations(6),
+	)
+	if err != nil {
+		return nil, err
+	}
+	obs := []struct {
+		where string
+		sel   float64
+	}{
+		{"age BETWEEN 18 AND 29", 0.22},
+		{"age BETWEEN 30 AND 49", 0.41},
+		{"salary >= 100000", 0.18},
+		{"age BETWEEN 18 AND 29", 0.24}, // merges with the first record
+		{"age BETWEEN 30 AND 49 AND salary >= 100000", 0.12},
+		{"salary < 40000", 0.35},
+		{"salary >= 100000", 0.20}, // merges with the third record
+	}
+	for _, o := range obs {
+		if err := est.ObserveWhere(o.where, o.sel); err != nil {
+			return nil, err
+		}
+	}
+	if err := est.Train(); err != nil {
+		return nil, err
+	}
+	return est, nil
+}
+
+// hasMergedWeight reports whether the model carries at least one observation
+// with a merged (non-unit) coreset weight.
+func hasMergedWeight(s *quicksel.Snapshot) bool {
+	if s.Model == nil {
+		return false
+	}
+	for _, o := range s.Model.Observations {
+		if o.Weight > 1 {
+			return true
+		}
+	}
+	return false
+}
+
 func probesFor(est *quicksel.Estimator) ([]probe, error) {
 	out := make([]probe, len(probeWheres))
 	for i, w := range probeWheres {
@@ -96,12 +156,31 @@ func probesFor(est *quicksel.Estimator) ([]probe, error) {
 	return out, nil
 }
 
-// downgrade rewrites a current (v3) envelope into the given old format
-// version: v1 carried no method or state fields (QuickSel only), v2 carried
-// method+state but no lifecycle section.
+// downgrade rewrites a current envelope into the given old format version,
+// stripping every field that version's writers could not produce: v5 added
+// the model's observation-coreset fields (per-observation weights and the
+// warm-start/coreset config), v4 added the envelope WalSeq and the model's
+// rng_draws fast-forward, v3 added the lifecycle section, v2 added
+// method+state (v1 was QuickSel-only).
 func downgrade(s *quicksel.Snapshot, version int) *quicksel.Snapshot {
 	s.Version = version
-	s.Lifecycle = nil
+	if version < 5 && s.Model != nil {
+		s.Model.Config.WarmStart = false
+		s.Model.Config.MaxObservations = 0
+		s.Model.Config.MergeThreshold = 0
+		for i := range s.Model.Observations {
+			s.Model.Observations[i].Weight = 0
+		}
+	}
+	if version < 4 {
+		s.WalSeq = 0
+		if s.Model != nil {
+			s.Model.RngDraws = 0
+		}
+	}
+	if version < 3 {
+		s.Lifecycle = nil
+	}
 	if version == 1 {
 		s.Method = ""
 		s.State = nil
@@ -149,6 +228,65 @@ func main() {
 		Comment:  "version-2 estimator envelope (method-aware, pre-lifecycle format) carrying the sthole method",
 		Snapshot: downgrade(sth.Snapshot(), 2),
 		Probes:   sthProbes,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// v3: lifecycle-aware envelope (maxent method, so the matrix also covers
+	// a State-payload method with a lifecycle section).
+	me, err := buildEstimator(quicksel.MethodMaxEnt, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	meProbes, err := probesFor(me)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := writeJSON("testdata/snapshot_v3.json", snapshotFixture{
+		Comment:  "version-3 estimator envelope (lifecycle-aware, pre-WAL format) carrying the maxent method",
+		Snapshot: downgrade(me.Snapshot(), 3),
+		Probes:   meProbes,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// v4: WAL-aware envelope (quicksel method with the rng_draws
+	// fast-forward, no coreset fields).
+	qs4, err := buildEstimator("", 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qs4Probes, err := probesFor(qs4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := writeJSON("testdata/snapshot_v4.json", snapshotFixture{
+		Comment:  "version-4 estimator envelope (WAL-aware, pre-coreset format) carrying the quicksel method",
+		Snapshot: downgrade(qs4.Snapshot(), 4),
+		Probes:   qs4Probes,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// v5: the current format — a warm-started QuickSel model with an
+	// observation coreset, so the fixture freezes merged observation weights
+	// and the warm/coreset config fields.
+	warm, err := buildWarmEstimator(13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	warmProbes, err := probesFor(warm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	warmSnap := warm.Snapshot()
+	if !hasMergedWeight(warmSnap) {
+		log.Fatal("v5 fixture has no merged observation weight; adjust the observation set")
+	}
+	if err := writeJSON("testdata/snapshot_v5.json", snapshotFixture{
+		Comment:  "version-5 estimator envelope (coreset-aware) carrying a warm-started quicksel model with merged observation weights",
+		Snapshot: warmSnap,
+		Probes:   warmProbes,
 	}); err != nil {
 		log.Fatal(err)
 	}
