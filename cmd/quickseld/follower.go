@@ -188,5 +188,9 @@ func toReplicationStatus(st replica.Stats) server.ReplicationStatus {
 		GapResponses:  st.GapResponses,
 		Records:       st.Records,
 		Bytes:         st.Bytes,
+		// Threads the primary's self-advertised address into
+		// Registry.PrimaryURL, keeping follower 503 hints correct after a
+		// failover re-points the fetch loop.
+		AdvertisedPrimary: st.PrimaryURL,
 	}
 }

@@ -125,6 +125,8 @@ type flagValues struct {
 	// Replication (see ARCHITECTURE.md "Replication & failover").
 	role              string
 	primaryURL        string
+	advertiseURL      string
+	nodeID            string
 	followerID        string
 	replAck           string
 	replAckTimeout    time.Duration
@@ -197,6 +199,9 @@ func buildConfig(v flagValues) (server.Config, error) {
 	if v.primaryURL != "" && !strings.HasPrefix(v.primaryURL, "http://") && !strings.HasPrefix(v.primaryURL, "https://") {
 		return server.Config{}, fmt.Errorf("-primary-url must be an http(s) base URL, got %q", v.primaryURL)
 	}
+	if v.advertiseURL != "" && !strings.HasPrefix(v.advertiseURL, "http://") && !strings.HasPrefix(v.advertiseURL, "https://") {
+		return server.Config{}, fmt.Errorf("-advertise-url must be an http(s) base URL, got %q", v.advertiseURL)
+	}
 	// Zero replication durations fall through to the package defaults;
 	// only actively bad values are rejected.
 	if v.replAckTimeout < 0 {
@@ -236,6 +241,8 @@ func buildConfig(v flagValues) (server.Config, error) {
 
 		Role:                  role,
 		PrimaryURL:            v.primaryURL,
+		NodeID:                v.nodeID,
+		AdvertiseURL:          strings.TrimSuffix(v.advertiseURL, "/"),
 		ReplicationAck:        v.replAck,
 		ReplicationAckTimeout: v.replAckTimeout,
 		FollowerRetention:     v.followerRetention,
@@ -262,6 +269,8 @@ func main() {
 
 	flag.StringVar(&v.role, "role", server.RolePrimary, "replication role: primary or follower")
 	flag.StringVar(&v.primaryURL, "primary-url", "", "primary's base URL (required with -role=follower; e.g. http://10.0.0.1:7075)")
+	flag.StringVar(&v.advertiseURL, "advertise-url", "", "base URL at which THIS node is reachable by clients and routers; stamped on X-Quickseld-Primary redirect hints and /v1/replication/status (e.g. http://10.0.0.2:7075)")
+	flag.StringVar(&v.nodeID, "node-id", "", "stable node identity reported on /v1/replication/status (default hostname+addr)")
 	flag.StringVar(&v.followerID, "follower-id", "", "stable follower identity reported to the primary (default hostname+addr)")
 	flag.StringVar(&v.replAck, "repl-ack", server.AckPrimary, "write acknowledgment mode on the primary: primary (local durability) or follower (semi-sync: wait for a follower's fetch watermark)")
 	flag.DurationVar(&v.replAckTimeout, "repl-ack-timeout", server.DefaultReplicationAckTimeout, "semi-sync ack wait bound before degrading to a local ack")
@@ -277,6 +286,10 @@ func main() {
 	flag.DurationVar(&v.slowRequest, "slow-request", server.DefaultSlowRequest, "log requests slower than this with their stage breakdown (negative disables)")
 	flag.Parse()
 
+	if v.nodeID == "" {
+		host, _ := os.Hostname()
+		v.nodeID = host + *addr
+	}
 	cfg, err := buildConfig(v)
 	if err != nil {
 		slog.Error("quickseld: invalid flags", slog.Any("error", err))

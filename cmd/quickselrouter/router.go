@@ -1,0 +1,714 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"quicksel/internal/cluster"
+	"quicksel/internal/obs"
+	"quicksel/internal/replica"
+	"quicksel/internal/server"
+)
+
+// maxRetryAfter caps how long the router honors a shard's Retry-After
+// before the single retry: a follower answering 503 suggests "1", but the
+// promoted primary is usually reachable immediately, and parking client
+// writes for whole seconds per attempt would collapse throughput during a
+// failover instead of riding through it.
+const maxRetryAfter = 200 * time.Millisecond
+
+// Router is the cluster front door: it owns the placement ring and health
+// tracker, proxies the /v1 surface to the owning shard, and serves the
+// cluster-level endpoints (/v1/cluster/status, /metrics, /readyz).
+//
+// Routing policy, by endpoint class:
+//
+//   - Writes (create, drop, observe, train, rollback) go to the owning
+//     shard's primary. A 503 answer carrying X-Quickseld-Primary re-aims
+//     the tracker and is retried exactly once against the hinted address;
+//     a transport error is likewise retried once after the tracker's view
+//     refreshes. Beyond that the shard's answer is the client's answer.
+//   - Estimate reads (estimate, estimate/batch) go to the primary by
+//     default; with -read-from-followers they round-robin across the
+//     primary and every healthy follower within the staleness bound.
+//   - List fans out to every shard and merges; snapshot fans out to every
+//     primary.
+//   - Versions/accuracy reads go to the primary: followers do not train,
+//     so their lifecycle state trails the primary's even when caught up on
+//     the log.
+type Router struct {
+	tracker  *cluster.Tracker
+	client   *http.Client
+	mux      *http.ServeMux
+	log      *slog.Logger
+	draining atomic.Bool
+
+	readFromFollowers bool
+
+	// Per-shard serving metrics; the map is built at boot (the shard set is
+	// static for the process lifetime) so lookups are lock-free.
+	shards map[string]*shardMetrics
+
+	reqTotal      atomic.Uint64
+	reqErrors     atomic.Uint64
+	retried       atomic.Uint64 // second attempts, any cause
+	rerouted      atomic.Uint64 // retries that followed an X-Quickseld-Primary hint
+	followerReads atomic.Uint64 // estimate requests answered by a follower
+	rrSeq         atomic.Uint64 // read-target round-robin cursor
+}
+
+type shardMetrics struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	latency  obs.Histogram
+}
+
+func newRouter(tracker *cluster.Tracker, readFromFollowers bool, client *http.Client, log *slog.Logger) *Router {
+	rt := &Router{
+		tracker:           tracker,
+		client:            client,
+		log:               log,
+		readFromFollowers: readFromFollowers,
+		shards:            make(map[string]*shardMetrics),
+		mux:               http.NewServeMux(),
+	}
+	for _, id := range tracker.Ring().Shards() {
+		rt.shards[id] = &shardMetrics{}
+	}
+	m := rt.mux
+	m.HandleFunc("POST /v1/estimators", rt.handleCreate)
+	m.HandleFunc("GET /v1/estimators", rt.handleList)
+	m.HandleFunc("DELETE /v1/estimators/{name}", rt.byName(false))
+	m.HandleFunc("POST /v1/{name}/observe", rt.byName(false))
+	m.HandleFunc("GET /v1/{name}/estimate", rt.byName(true))
+	m.HandleFunc("POST /v1/{name}/estimate/batch", rt.byName(true))
+	m.HandleFunc("POST /v1/estimate/batch", rt.handleClusterBatch)
+	m.HandleFunc("POST /v1/{name}/train", rt.byName(false))
+	m.HandleFunc("GET /v1/{name}/versions", rt.byName(false))
+	m.HandleFunc("POST /v1/{name}/rollback", rt.byName(false))
+	m.HandleFunc("GET /v1/{name}/accuracy", rt.byName(false))
+	m.HandleFunc("POST /v1/snapshot", rt.handleSnapshotFanout)
+	m.HandleFunc("GET /v1/cluster/status", rt.handleClusterStatus)
+	m.HandleFunc("GET /metrics", rt.handleMetrics)
+	m.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	m.HandleFunc("GET /readyz", rt.handleReadyz)
+	return rt
+}
+
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.URL.Path, "/v1/") {
+		rt.reqTotal.Add(1)
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, server.MaxRequestBytes)
+		}
+	}
+	rt.mux.ServeHTTP(w, r)
+}
+
+// requestID reuses the client's X-Request-Id or mints one, so the router's
+// logs and every proxied shard request share one correlatable ID.
+func requestID(r *http.Request) string {
+	return obs.StartSpanWithID("router", r.Method+" "+r.URL.Path, r.Header.Get("X-Request-Id")).ID()
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (rt *Router) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		rt.log.Warn("router: encode response", slog.Any("error", err))
+	}
+}
+
+// ---- proxy core ----
+
+// proxyResult is one upstream exchange, body fully read.
+type proxyResult struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// doOnce issues one upstream request. The body is a byte slice (not the
+// client's reader) so a retry can replay it.
+func (rt *Router) doOnce(r *http.Request, target, reqID string, body []byte) (*proxyResult, error) {
+	u := target + r.URL.Path
+	if r.URL.RawQuery != "" {
+		u += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	req.Header.Set("X-Request-Id", reqID)
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	// Bound the proxied body: the shard's own responses are bounded, so
+	// anything bigger means a misconfigured target.
+	b, err := io.ReadAll(io.LimitReader(resp.Body, server.MaxRequestBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	return &proxyResult{status: resp.StatusCode, header: resp.Header, body: b}, nil
+}
+
+// proxyShard forwards a request to a shard, retrying once on a 503 (the
+// target is a demoted or still-booting node; the response's
+// X-Quickseld-Primary hint re-aims the tracker) or on a transport error
+// (the target just died; the tracker may already know the successor).
+func (rt *Router) proxyShard(w http.ResponseWriter, r *http.Request, shard string, read bool) {
+	sm := rt.shards[shard]
+	start := time.Now()
+	defer func() { sm.latency.Observe(time.Since(start)) }()
+	sm.requests.Add(1)
+
+	var body []byte
+	if r.Body != nil && r.Method != http.MethodGet {
+		b, err := io.ReadAll(r.Body)
+		if err != nil {
+			// MaxBytesReader trips here; mirror the shard's 413 semantics.
+			sm.errors.Add(1)
+			rt.writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: "request body too large"})
+			return
+		}
+		body = b
+	}
+	reqID := requestID(r)
+
+	target, followerRead := rt.pickTarget(shard, read)
+	if target == "" {
+		sm.errors.Add(1)
+		rt.reqErrors.Add(1)
+		w.Header().Set("Retry-After", "1")
+		rt.writeJSON(w, http.StatusServiceUnavailable,
+			errorBody{Error: fmt.Sprintf("shard %s has no known primary", shard)})
+		return
+	}
+
+	res, err := rt.doOnce(r, target, reqID, body)
+	if err == nil && res.status != http.StatusServiceUnavailable {
+		rt.replyWith(w, res, reqID, followerRead)
+		return
+	}
+
+	// One retry. A 503 with a primary hint re-aims the tracker (rerouted);
+	// otherwise re-ask the tracker, which the health loop may have updated.
+	retryTarget := ""
+	if err == nil {
+		if hint := res.header.Get(replica.HeaderPrimary); hint != "" && hint != target {
+			rt.tracker.AdoptPrimary(shard, hint)
+			rt.rerouted.Add(1)
+			retryTarget = hint
+		}
+		if ra := res.header.Get("Retry-After"); ra != "" {
+			if secs, perr := strconv.Atoi(ra); perr == nil && secs > 0 {
+				d := time.Duration(secs) * time.Second
+				if d > maxRetryAfter {
+					d = maxRetryAfter
+				}
+				select {
+				case <-time.After(d):
+				case <-r.Context().Done():
+					return
+				}
+			}
+		}
+	}
+	if retryTarget == "" {
+		// Reads retried against the primary, not another follower: the
+		// primary is the one target guaranteed to hold the estimator.
+		retryTarget, _ = rt.tracker.PrimaryURL(shard)
+		followerRead = false
+	}
+	if retryTarget == "" || rt.draining.Load() {
+		rt.upstreamError(w, sm, shard, err, res)
+		return
+	}
+	rt.retried.Add(1)
+	res2, err2 := rt.doOnce(r, retryTarget, reqID, body)
+	if err2 != nil {
+		sm.errors.Add(1)
+		rt.reqErrors.Add(1)
+		rt.writeJSON(w, http.StatusBadGateway,
+			errorBody{Error: fmt.Sprintf("shard %s unreachable: %v", shard, err2)})
+		return
+	}
+	if res2.status >= 500 {
+		sm.errors.Add(1)
+	}
+	rt.replyWith(w, res2, reqID, followerRead)
+}
+
+// upstreamError turns a failed first attempt (with no viable retry target)
+// into the client-facing answer: the shard's own response when there was
+// one, a 502 otherwise.
+func (rt *Router) upstreamError(w http.ResponseWriter, sm *shardMetrics, shard string, err error, res *proxyResult) {
+	sm.errors.Add(1)
+	if res != nil {
+		rt.replyWith(w, res, "", false)
+		return
+	}
+	rt.reqErrors.Add(1)
+	rt.writeJSON(w, http.StatusBadGateway,
+		errorBody{Error: fmt.Sprintf("shard %s unreachable: %v", shard, err)})
+}
+
+// replyWith copies an upstream exchange to the client.
+func (rt *Router) replyWith(w http.ResponseWriter, res *proxyResult, reqID string, followerRead bool) {
+	if ct := res.header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := res.header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	if pu := res.header.Get(replica.HeaderPrimary); pu != "" {
+		w.Header().Set(replica.HeaderPrimary, pu)
+	}
+	if reqID != "" {
+		w.Header().Set("X-Request-Id", reqID)
+	}
+	if followerRead {
+		rt.followerReads.Add(1)
+	}
+	if res.status >= 500 {
+		rt.reqErrors.Add(1)
+	}
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+// pickTarget selects the upstream for one request: the shard primary for
+// writes, or — when follower reads are on — a round-robin pick over the
+// primary and the caught-up healthy followers. The second return reports
+// whether the pick is a follower.
+func (rt *Router) pickTarget(shard string, read bool) (string, bool) {
+	if read && rt.readFromFollowers {
+		targets := rt.tracker.ReadTargets(shard)
+		if len(targets) > 1 {
+			i := int(rt.rrSeq.Add(1)) % len(targets)
+			return targets[i], i != 0 // index 0 is always the primary
+		}
+		if len(targets) == 1 {
+			return targets[0], false
+		}
+	}
+	url, _ := rt.tracker.PrimaryURL(shard)
+	return url, false
+}
+
+// ---- handlers ----
+
+// byName routes endpoints whose owning shard is determined by the {name}
+// path segment.
+func (rt *Router) byName(read bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		rt.proxyShard(w, r, rt.tracker.Owner(name), read)
+	}
+}
+
+// handleCreate peeks the estimator name out of the create body to find the
+// owning shard, then forwards the original body verbatim.
+func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		rt.writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: "request body too large"})
+		return
+	}
+	var peek struct {
+		Name string `json:"name"`
+	}
+	if err := json.Unmarshal(body, &peek); err != nil || peek.Name == "" {
+		rt.writeJSON(w, http.StatusBadRequest, errorBody{Error: "create body needs a name field"})
+		return
+	}
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	rt.proxyShard(w, r, rt.tracker.Owner(peek.Name), false)
+}
+
+// handleList fans GET /v1/estimators out to every shard's primary and
+// merges the estimator arrays, sorted by name for a stable view.
+func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
+	reqID := requestID(r)
+	type shardList struct {
+		shard string
+		ests  []json.RawMessage
+		err   error
+	}
+	shards := rt.tracker.Ring().Shards()
+	results := make([]shardList, len(shards))
+	var wg sync.WaitGroup
+	for i, shard := range shards {
+		wg.Add(1)
+		go func(i int, shard string) {
+			defer wg.Done()
+			results[i].shard = shard
+			target, _ := rt.tracker.PrimaryURL(shard)
+			if target == "" {
+				results[i].err = fmt.Errorf("no known primary")
+				return
+			}
+			res, err := rt.doOnce(r, target, reqID, nil)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			if res.status != http.StatusOK {
+				results[i].err = fmt.Errorf("status %d: %s", res.status, truncate(res.body))
+				return
+			}
+			var body struct {
+				Estimators []json.RawMessage `json:"estimators"`
+			}
+			if err := json.Unmarshal(res.body, &body); err != nil {
+				results[i].err = err
+				return
+			}
+			results[i].ests = body.Estimators
+		}(i, shard)
+	}
+	wg.Wait()
+	merged := make([]json.RawMessage, 0, 16)
+	for _, sl := range results {
+		if sl.err != nil {
+			rt.reqErrors.Add(1)
+			rt.writeJSON(w, http.StatusBadGateway,
+				errorBody{Error: fmt.Sprintf("shard %s: list failed: %v", sl.shard, sl.err)})
+			return
+		}
+		merged = append(merged, sl.ests...)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		return estimatorName(merged[i]) < estimatorName(merged[j])
+	})
+	w.Header().Set("X-Request-Id", reqID)
+	rt.writeJSON(w, http.StatusOK, map[string]any{"estimators": merged})
+}
+
+func estimatorName(raw json.RawMessage) string {
+	var e struct {
+		Name string `json:"name"`
+	}
+	_ = json.Unmarshal(raw, &e)
+	return e.Name
+}
+
+func truncate(b []byte) string {
+	s := strings.TrimSpace(string(b))
+	if len(s) > 200 {
+		s = s[:200] + "..."
+	}
+	return s
+}
+
+// clusterBatchRequest is the router-level POST /v1/estimate/batch body:
+// estimates spanning many estimators — and thus many shards — in one call.
+type clusterBatchRequest struct {
+	Queries []clusterBatchQuery `json:"queries"`
+}
+
+type clusterBatchQuery struct {
+	Estimator string `json:"estimator"`
+	Where     string `json:"where"`
+}
+
+// handleClusterBatch splits a multi-estimator batch by ring owner, fans the
+// per-estimator sub-batches out to their shards concurrently (read policy,
+// so follower balancing applies), and merges the selectivities back into
+// input order.
+func (rt *Router) handleClusterBatch(w http.ResponseWriter, r *http.Request) {
+	reqID := requestID(r)
+	var req clusterBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		rt.writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decode request: %v", err)})
+		return
+	}
+	if len(req.Queries) == 0 {
+		rt.writeJSON(w, http.StatusBadRequest, errorBody{Error: "request needs a non-empty queries array"})
+		return
+	}
+	if len(req.Queries) > server.MaxEstimateBatch {
+		rt.writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf(
+			"batch of %d exceeds the %d-query limit; split the request", len(req.Queries), server.MaxEstimateBatch)})
+		return
+	}
+	for i, q := range req.Queries {
+		if q.Estimator == "" || q.Where == "" {
+			rt.writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf(
+				"query %d: estimator and where are both required", i)})
+			return
+		}
+	}
+
+	// Group by estimator: each group is one sub-batch to the owning shard's
+	// per-estimator batch endpoint, with the original indices remembered so
+	// the merge restores input order.
+	type group struct {
+		estimator string
+		indices   []int
+		wheres    []string
+	}
+	byEst := make(map[string]*group)
+	order := make([]*group, 0, 8)
+	for i, q := range req.Queries {
+		g := byEst[q.Estimator]
+		if g == nil {
+			g = &group{estimator: q.Estimator}
+			byEst[q.Estimator] = g
+			order = append(order, g)
+		}
+		g.indices = append(g.indices, i)
+		g.wheres = append(g.wheres, q.Where)
+	}
+
+	sels := make([]float64, len(req.Queries))
+	errs := make([]error, len(order))
+	var wg sync.WaitGroup
+	for gi, g := range order {
+		wg.Add(1)
+		go func(gi int, g *group) {
+			defer wg.Done()
+			shard := rt.tracker.Owner(g.estimator)
+			subBody, _ := json.Marshal(map[string]any{"wheres": g.wheres})
+			subSels, err := rt.estimateSubBatch(r, shard, g.estimator, reqID, subBody)
+			if err != nil {
+				errs[gi] = fmt.Errorf("estimator %s (shard %s): %w", g.estimator, shard, err)
+				return
+			}
+			if len(subSels) != len(g.indices) {
+				errs[gi] = fmt.Errorf("estimator %s: %d selectivities for %d queries", g.estimator, len(subSels), len(g.indices))
+				return
+			}
+			for k, idx := range g.indices {
+				sels[idx] = subSels[k]
+			}
+		}(gi, g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			status := http.StatusBadGateway
+			if strings.Contains(err.Error(), "status 404") {
+				status = http.StatusNotFound
+			}
+			rt.reqErrors.Add(1)
+			rt.writeJSON(w, status, errorBody{Error: err.Error()})
+			return
+		}
+	}
+	w.Header().Set("X-Request-Id", reqID)
+	rt.writeJSON(w, http.StatusOK, map[string]any{"selectivities": sels})
+}
+
+// estimateSubBatch sends one per-estimator sub-batch to its shard under the
+// read policy, with the same 503-hint retry the general proxy applies.
+func (rt *Router) estimateSubBatch(r *http.Request, shard, estimator, reqID string, body []byte) ([]float64, error) {
+	sm := rt.shards[shard]
+	start := time.Now()
+	defer func() { sm.latency.Observe(time.Since(start)) }()
+	sm.requests.Add(1)
+
+	target, followerRead := rt.pickTarget(shard, true)
+	if target == "" {
+		sm.errors.Add(1)
+		return nil, fmt.Errorf("no known primary")
+	}
+	u := target + "/v1/" + estimator + "/estimate/batch"
+	attempt := func(u string) (*proxyResult, error) {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, u, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Request-Id", reqID)
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(io.LimitReader(resp.Body, server.MaxRequestBytes+1))
+		if err != nil {
+			return nil, err
+		}
+		return &proxyResult{status: resp.StatusCode, header: resp.Header, body: b}, nil
+	}
+	res, err := attempt(u)
+	if err != nil || res.status == http.StatusServiceUnavailable {
+		retry := ""
+		if err == nil {
+			if hint := res.header.Get(replica.HeaderPrimary); hint != "" && hint != target {
+				rt.tracker.AdoptPrimary(shard, hint)
+				rt.rerouted.Add(1)
+				retry = hint
+			}
+		}
+		if retry == "" {
+			retry, _ = rt.tracker.PrimaryURL(shard)
+		}
+		if retry == "" {
+			sm.errors.Add(1)
+			return nil, fmt.Errorf("shard unreachable: %v", err)
+		}
+		rt.retried.Add(1)
+		followerRead = false
+		res, err = attempt(retry + "/v1/" + estimator + "/estimate/batch")
+		if err != nil {
+			sm.errors.Add(1)
+			return nil, err
+		}
+	}
+	if res.status != http.StatusOK {
+		sm.errors.Add(1)
+		return nil, fmt.Errorf("status %d: %s", res.status, truncate(res.body))
+	}
+	if followerRead {
+		rt.followerReads.Add(1)
+	}
+	var out struct {
+		Selectivities []float64 `json:"selectivities"`
+	}
+	if err := json.Unmarshal(res.body, &out); err != nil {
+		return nil, fmt.Errorf("decode shard response: %w", err)
+	}
+	return out.Selectivities, nil
+}
+
+// handleSnapshotFanout forwards POST /v1/snapshot to every shard's primary;
+// all must succeed for a 200.
+func (rt *Router) handleSnapshotFanout(w http.ResponseWriter, r *http.Request) {
+	reqID := requestID(r)
+	shards := rt.tracker.Ring().Shards()
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i, shard := range shards {
+		wg.Add(1)
+		go func(i int, shard string) {
+			defer wg.Done()
+			target, _ := rt.tracker.PrimaryURL(shard)
+			if target == "" {
+				errs[i] = fmt.Errorf("shard %s: no known primary", shard)
+				return
+			}
+			res, err := rt.doOnce(r, target, reqID, nil)
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %s: %w", shard, err)
+				return
+			}
+			if res.status != http.StatusOK {
+				errs[i] = fmt.Errorf("shard %s: status %d: %s", shard, res.status, truncate(res.body))
+			}
+		}(i, shard)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			rt.reqErrors.Add(1)
+			rt.writeJSON(w, http.StatusBadGateway, errorBody{Error: err.Error()})
+			return
+		}
+	}
+	w.Header().Set("X-Request-Id", reqID)
+	rt.writeJSON(w, http.StatusOK, map[string]string{"status": "saved"})
+}
+
+// clusterStatus is the GET /v1/cluster/status body.
+type clusterStatus struct {
+	RingVersion string                `json:"ring_version"`
+	Vnodes      int                   `json:"vnodes"`
+	Ready       bool                  `json:"ready"`
+	Draining    bool                  `json:"draining"`
+	Shards      []cluster.ShardHealth `json:"shards"`
+}
+
+func (rt *Router) handleClusterStatus(w http.ResponseWriter, _ *http.Request) {
+	ring := rt.tracker.Ring()
+	rt.writeJSON(w, http.StatusOK, clusterStatus{
+		// Hex string, not a JSON number: the version is a full 64-bit hash
+		// and JSON numbers lose integer precision past 2^53.
+		RingVersion: fmt.Sprintf("%016x", ring.Version()),
+		Vnodes:      ring.Vnodes(),
+		Ready:       rt.tracker.Ready(),
+		Draining:    rt.draining.Load(),
+		Shards:      rt.tracker.Snapshot(),
+	})
+}
+
+func (rt *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	ready := rt.tracker.Ready() && !rt.draining.Load()
+	code := http.StatusOK
+	if !ready {
+		code = http.StatusServiceUnavailable
+	}
+	rt.writeJSON(w, code, map[string]any{
+		"ready":    ready,
+		"draining": rt.draining.Load(),
+	})
+}
+
+// SetDraining flips the router into drain mode: /readyz answers 503 so load
+// balancers stop sending new work, while in-flight and straggler requests
+// still proxy normally until the HTTP server's graceful shutdown closes the
+// listener.
+func (rt *Router) SetDraining() { rt.draining.Store(true) }
+
+// handleMetrics serves the router's Prometheus exposition: cluster-level
+// counters plus per-shard request/error counters and latency histograms,
+// labeled by shard.
+func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("quickselrouter_requests_total", "Total /v1 requests accepted by the router.", rt.reqTotal.Load())
+	counter("quickselrouter_request_errors_total", "Requests answered with a 5xx (upstream or router).", rt.reqErrors.Load())
+	counter("quickselrouter_retried_total", "Second proxy attempts after a 503 or transport error.", rt.retried.Load())
+	counter("quickselrouter_rerouted_total", "Retries that followed an X-Quickseld-Primary hint to a new primary.", rt.rerouted.Load())
+	counter("quickselrouter_follower_reads_total", "Estimate requests answered by a caught-up follower.", rt.followerReads.Load())
+	ready := 0.0
+	if rt.tracker.Ready() {
+		ready = 1
+	}
+	gauge("quickselrouter_ready", "1 when every shard has a live ready primary.", ready)
+	gauge("quickselrouter_ring_vnodes", "Virtual nodes per shard on the placement ring.", float64(rt.tracker.Ring().Vnodes()))
+
+	// Per-shard serving metrics. Shards in ring order for a stable scrape.
+	fmt.Fprintf(w, "# HELP quickselrouter_shard_requests_total Requests proxied to the shard.\n")
+	fmt.Fprintf(w, "# TYPE quickselrouter_shard_requests_total counter\n")
+	for _, id := range rt.tracker.Ring().Shards() {
+		fmt.Fprintf(w, "quickselrouter_shard_requests_total{shard=%q} %d\n", id, rt.shards[id].requests.Load())
+	}
+	fmt.Fprintf(w, "# HELP quickselrouter_shard_errors_total Proxied requests that failed (5xx or unreachable).\n")
+	fmt.Fprintf(w, "# TYPE quickselrouter_shard_errors_total counter\n")
+	for _, id := range rt.tracker.Ring().Shards() {
+		fmt.Fprintf(w, "quickselrouter_shard_errors_total{shard=%q} %d\n", id, rt.shards[id].errors.Load())
+	}
+	for _, id := range rt.tracker.Ring().Shards() {
+		snap := rt.shards[id].latency.Snapshot()
+		snap.WritePrometheus(w, "quickselrouter_shard_request_seconds", fmt.Sprintf("shard=%q", id))
+	}
+}

@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeNode is a scriptable quickseld health surface: /readyz plus the
+// /v1/replication/status subset the tracker parses.
+type fakeNode struct {
+	mu           sync.Mutex
+	ready        bool
+	role         string
+	lag          uint64
+	caughtUp     bool
+	advertiseURL string
+	down         bool // refuse all requests (simulates a crash)
+	srv          *httptest.Server
+}
+
+func newFakeNode(role string, ready bool) *fakeNode {
+	f := &fakeNode{role: role, ready: ready, caughtUp: true}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.down {
+			panic(http.ErrAbortHandler)
+		}
+		if f.ready {
+			w.WriteHeader(http.StatusOK)
+		} else {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+	})
+	mux.HandleFunc("GET /v1/replication/status", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.down {
+			panic(http.ErrAbortHandler)
+		}
+		body := map[string]any{"role": f.role, "node_id": "fake", "advertise_url": f.advertiseURL}
+		if f.role == "follower" {
+			body["replication"] = map[string]any{"lag": f.lag, "caught_up": f.caughtUp}
+		}
+		json.NewEncoder(w).Encode(body)
+	})
+	f.srv = httptest.NewServer(mux)
+	return f
+}
+
+func (f *fakeNode) set(fn func(*fakeNode)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fn(f)
+}
+
+func (f *fakeNode) Close() { f.srv.Close() }
+
+func trackerFor(t *testing.T, cfg TrackerConfig, shards ...Shard) *Tracker {
+	t.Helper()
+	m, err := BuildMap(shards)
+	if err != nil {
+		t.Fatalf("BuildMap: %v", err)
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = 20 * time.Millisecond
+	}
+	tr, err := NewTracker(m, cfg)
+	if err != nil {
+		t.Fatalf("NewTracker: %v", err)
+	}
+	tr.Start()
+	t.Cleanup(tr.Stop)
+	return tr
+}
+
+func waitFor(t *testing.T, what string, pred func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if pred() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestTrackerPromotionFlipsPrimary: the tracker starts aimed at Nodes[0];
+// when that node dies and the follower reports itself a ready primary, the
+// shard's write target flips to the follower (its advertised URL).
+func TestTrackerPromotionFlipsPrimary(t *testing.T) {
+	p := newFakeNode("primary", true)
+	defer p.Close()
+	f := newFakeNode("follower", true)
+	defer f.Close()
+
+	tr := trackerFor(t, TrackerConfig{},
+		Shard{ID: "s0", Nodes: []Node{
+			{ID: "p", URL: p.srv.URL},
+			{ID: "f", URL: f.srv.URL},
+		}})
+
+	waitFor(t, "initial primary live", func() bool {
+		url, live := tr.PrimaryURL("s0")
+		return live && url == p.srv.URL
+	})
+	if !tr.Ready() {
+		t.Fatal("tracker not Ready with a live primary")
+	}
+
+	// Crash the primary; the tracker must notice and drop liveness.
+	p.set(func(n *fakeNode) { n.down = true })
+	waitFor(t, "primary marked not live", func() bool {
+		_, live := tr.PrimaryURL("s0")
+		return !live
+	})
+	if tr.Ready() {
+		t.Fatal("tracker Ready with a dead primary")
+	}
+
+	// Promote the follower, advertising a distinct URL.
+	f.set(func(n *fakeNode) { n.role = "primary"; n.advertiseURL = n.srv.URL })
+	waitFor(t, "primary flipped to promoted follower", func() bool {
+		url, live := tr.PrimaryURL("s0")
+		return live && url == f.srv.URL
+	})
+	if !tr.Ready() {
+		t.Fatal("tracker not Ready after promotion")
+	}
+}
+
+// TestTrackerReadTargets: followers join the read set only while healthy,
+// ready, and within the staleness bound.
+func TestTrackerReadTargets(t *testing.T) {
+	p := newFakeNode("primary", true)
+	defer p.Close()
+	f := newFakeNode("follower", true)
+	defer f.Close()
+
+	tr := trackerFor(t, TrackerConfig{MaxReadLag: 10},
+		Shard{ID: "s0", Nodes: []Node{
+			{ID: "p", URL: p.srv.URL},
+			{ID: "f", URL: f.srv.URL},
+		}})
+
+	waitFor(t, "follower in read set", func() bool {
+		ts := tr.ReadTargets("s0")
+		return len(ts) == 2 && ts[0] == p.srv.URL && ts[1] == f.srv.URL
+	})
+
+	// Lag beyond the bound evicts the follower from the read set.
+	f.set(func(n *fakeNode) { n.lag = 50; n.caughtUp = false })
+	waitFor(t, "lagging follower evicted", func() bool {
+		ts := tr.ReadTargets("s0")
+		return len(ts) == 1 && ts[0] == p.srv.URL
+	})
+
+	// Back under the bound (caught_up false but lag <= MaxReadLag): with a
+	// nonzero staleness budget the follower is admitted again.
+	f.set(func(n *fakeNode) { n.lag = 3 })
+	waitFor(t, "follower readmitted within lag bound", func() bool {
+		return len(tr.ReadTargets("s0")) == 2
+	})
+
+	// Not-ready follower never serves reads regardless of lag.
+	f.set(func(n *fakeNode) { n.ready = false })
+	waitFor(t, "unready follower evicted", func() bool {
+		return len(tr.ReadTargets("s0")) == 1
+	})
+}
+
+// TestTrackerZeroLagBound: with MaxReadLag zero only caught-up followers
+// serve reads.
+func TestTrackerZeroLagBound(t *testing.T) {
+	p := newFakeNode("primary", true)
+	defer p.Close()
+	f := newFakeNode("follower", true)
+	defer f.Close()
+	f.set(func(n *fakeNode) { n.caughtUp = false; n.lag = 0 })
+
+	tr := trackerFor(t, TrackerConfig{},
+		Shard{ID: "s0", Nodes: []Node{
+			{ID: "p", URL: p.srv.URL},
+			{ID: "f", URL: f.srv.URL},
+		}})
+
+	waitFor(t, "primary live", func() bool { _, live := tr.PrimaryURL("s0"); return live })
+	// Give the follower a few probe cycles to (incorrectly) join.
+	time.Sleep(100 * time.Millisecond)
+	if ts := tr.ReadTargets("s0"); len(ts) != 1 {
+		t.Fatalf("not-caught-up follower in read set: %v", ts)
+	}
+	f.set(func(n *fakeNode) { n.caughtUp = true })
+	waitFor(t, "caught-up follower admitted", func() bool {
+		return len(tr.ReadTargets("s0")) == 2
+	})
+}
+
+// TestTrackerAdoptPrimary: a hint re-aims the write target immediately, and
+// liveness stays false until a probe confirms a node at that role.
+func TestTrackerAdoptPrimary(t *testing.T) {
+	p := newFakeNode("follower", true) // nobody is primary yet
+	defer p.Close()
+
+	tr := trackerFor(t, TrackerConfig{},
+		Shard{ID: "s0", Nodes: []Node{{ID: "p", URL: p.srv.URL}}})
+
+	waitFor(t, "first probe", func() bool {
+		snap := tr.Snapshot()
+		return len(snap) == 1 && len(snap[0].Nodes) == 1 && !snap[0].Nodes[0].LastProbe.IsZero()
+	})
+	tr.AdoptPrimary("s0", "http://adopted:7600")
+	url, live := tr.PrimaryURL("s0")
+	if url != "http://adopted:7600" || live {
+		t.Fatalf("after adopt: url=%q live=%v; want adopted URL, not live", url, live)
+	}
+	// An unknown shard is a no-op, not a panic.
+	tr.AdoptPrimary("nope", "http://x")
+}
+
+// TestTrackerSnapshot sanity-checks the /v1/cluster/status body shape.
+func TestTrackerSnapshot(t *testing.T) {
+	p := newFakeNode("primary", true)
+	defer p.Close()
+
+	tr := trackerFor(t, TrackerConfig{},
+		Shard{ID: "s0", Nodes: []Node{{ID: "p", URL: p.srv.URL}}})
+	waitFor(t, "snapshot shows healthy primary", func() bool {
+		snap := tr.Snapshot()
+		if len(snap) != 1 || snap[0].ID != "s0" {
+			return false
+		}
+		sh := snap[0]
+		return sh.PrimaryLive && sh.PrimaryURL == p.srv.URL &&
+			len(sh.Nodes) == 1 && sh.Nodes[0].Healthy && sh.Nodes[0].Role == "primary"
+	})
+	if _, err := json.Marshal(tr.Snapshot()); err != nil {
+		t.Fatalf("snapshot not JSON-marshalable: %v", err)
+	}
+}

@@ -67,6 +67,37 @@ func StartSpan(kind, name string) *Span {
 	}
 }
 
+// MaxRequestIDLen bounds a caller-supplied request ID; longer values are
+// rejected (a fresh ID is minted) rather than truncated, so an ID either
+// survives propagation intact or not at all.
+const MaxRequestIDLen = 128
+
+// StartSpanWithID opens a span under a caller-supplied request ID — the
+// propagation hook for a front door (quickselrouter) forwarding its own
+// X-Request-Id, so one user request correlates across the router's and the
+// shard's /debug/requests rings. An empty or unusable ID (over
+// MaxRequestIDLen, or containing non-printable/whitespace bytes that would
+// corrupt log lines and headers) falls back to a freshly minted one.
+func StartSpanWithID(kind, name, id string) *Span {
+	s := StartSpan(kind, name)
+	if validRequestID(id) {
+		s.trace.ID = id
+	}
+	return s
+}
+
+func validRequestID(id string) bool {
+	if id == "" || len(id) > MaxRequestIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		if c := id[i]; c <= ' ' || c > '~' {
+			return false
+		}
+	}
+	return true
+}
+
 // ID returns the span's request ID ("" on a nil span).
 func (s *Span) ID() string {
 	if s == nil {

@@ -40,6 +40,32 @@ func TestSpanStages(t *testing.T) {
 	}
 }
 
+func TestStartSpanWithID(t *testing.T) {
+	// A sane caller-supplied ID is adopted verbatim.
+	if got := StartSpanWithID("http", "x", "router-1a2b-7").ID(); got != "router-1a2b-7" {
+		t.Fatalf("adopted id = %q", got)
+	}
+	// Unusable IDs fall back to a freshly minted one.
+	for _, bad := range []string{
+		"",
+		"has space",
+		"has\ttab",
+		"has\nnewline",
+		"non-ascii-\xc3\xa9",
+		strings.Repeat("x", MaxRequestIDLen+1),
+	} {
+		got := StartSpanWithID("http", "x", bad).ID()
+		if got == bad || got == "" {
+			t.Fatalf("bad id %q adopted (got %q)", bad, got)
+		}
+	}
+	// Exactly at the length cap is still acceptable.
+	max := strings.Repeat("y", MaxRequestIDLen)
+	if got := StartSpanWithID("http", "x", max).ID(); got != max {
+		t.Fatalf("max-length id rejected")
+	}
+}
+
 func TestSpanIDsUnique(t *testing.T) {
 	seen := map[string]bool{}
 	for i := 0; i < 1000; i++ {

@@ -1,0 +1,47 @@
+package replica
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestFetcherCapturesAdvertisedPrimary: the fetcher records the primary's
+// self-advertised address from X-Quickseld-Primary on WAL responses, keeps
+// the last value when a response omits the header, and surfaces it on
+// Stats.
+func TestFetcherCapturesAdvertisedPrimary(t *testing.T) {
+	p := newFakePrimary(t, 10)
+	p.script = []func(w http.ResponseWriter, from uint64, p *fakePrimary){
+		// Round 1: primary advertises itself.
+		func(w http.ResponseWriter, from uint64, p *fakePrimary) {
+			w.Header().Set(HeaderPrimary, "http://adv.example:7075")
+			p.serveNormal(w, from)
+		},
+	}
+	s := newSink(10)
+	f, err := NewFetcher(Config{
+		PrimaryURL: p.srv.URL,
+		FollowerID: "f1",
+		Resume:     s.resume,
+		Apply:      s.apply,
+		PollWait:   50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.PrimaryURL(); got != "" {
+		t.Fatalf("PrimaryURL before any round = %q", got)
+	}
+	runFetcher(t, f)
+	waitApplied(t, s)
+	f.Stop()
+
+	if got := f.PrimaryURL(); got != "http://adv.example:7075" {
+		t.Fatalf("PrimaryURL = %q, want the advertised address", got)
+	}
+	// Subsequent header-less responses (the script ran out after round 1)
+	// must not have cleared the learned address.
+	if got := f.Stats().PrimaryURL; got != "http://adv.example:7075" {
+		t.Fatalf("Stats().PrimaryURL = %q", got)
+	}
+}

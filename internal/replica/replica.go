@@ -180,6 +180,10 @@ type Stats struct {
 	Lag           uint64 `json:"lag"`
 	CaughtUp      bool   `json:"caught_up"`
 	Healthy       bool   `json:"healthy"`
+	// PrimaryURL is the reachable base URL the primary last stamped on a
+	// WAL response (X-Quickseld-Primary, its -advertise-url); empty until
+	// a primary that advertises itself answers.
+	PrimaryURL string `json:"primary_url,omitempty"`
 }
 
 // Fetcher tails one primary's WAL. Build with NewFetcher, drive with Run
@@ -199,7 +203,8 @@ type Fetcher struct {
 	fetches, fetchErrs, torn, gaps, records, bytes atomic.Uint64
 	lag                                            atomic.Uint64
 	caughtUp                                       atomic.Bool
-	lastOK                                         atomic.Int64 // unix nanos of the last successful round
+	lastOK                                         atomic.Int64           // unix nanos of the last successful round
+	primaryURL                                     atomic.Pointer[string] // last X-Quickseld-Primary seen
 }
 
 // NewFetcher builds a fetcher; Config.Resume and Config.Apply are required.
@@ -238,7 +243,17 @@ func (f *Fetcher) Stats() Stats {
 		Lag:           st.Lag,
 		CaughtUp:      st.CaughtUp,
 		Healthy:       st.Healthy,
+		PrimaryURL:    f.PrimaryURL(),
 	}
+}
+
+// PrimaryURL reports the primary's self-advertised base URL, learned from
+// the X-Quickseld-Primary header on WAL responses ("" until seen).
+func (f *Fetcher) PrimaryURL() string {
+	if p := f.primaryURL.Load(); p != nil {
+		return *p
+	}
+	return ""
 }
 
 func (f *Fetcher) status() Status {
@@ -342,6 +357,9 @@ func (f *Fetcher) round(ctx context.Context) (progressed bool, err error) {
 	}
 	f.bytes.Add(uint64(len(body)))
 	tail, _ := strconv.ParseUint(resp.Header.Get(HeaderTail), 10, 64)
+	if adv := resp.Header.Get(HeaderPrimary); adv != "" {
+		f.primaryURL.Store(&adv)
+	}
 
 	// Verify the body frame by frame: CRC, length, and the dense sequence
 	// run starting exactly at from. The verified prefix is applied; a torn

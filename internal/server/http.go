@@ -140,7 +140,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			errorBody{Error: "this node is a read-only follower; send writes to the primary"})
 		return
 	}
-	sp := obs.StartSpan("http", r.Method+" "+r.URL.Path)
+	// Reuse a propagated request ID (quickselrouter forwards its own) so
+	// one user request correlates across the router's and this shard's
+	// /debug/requests rings; a missing or malformed header mints fresh.
+	sp := obs.StartSpanWithID("http", r.Method+" "+r.URL.Path, r.Header.Get("X-Request-Id"))
 	w.Header().Set("X-Request-Id", sp.ID())
 	sw := &statusWriter{ResponseWriter: w}
 	s.mux.ServeHTTP(sw, r.WithContext(obs.WithSpan(r.Context(), sp)))

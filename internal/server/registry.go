@@ -100,8 +100,21 @@ type Config struct {
 	// A follower requires WALDir. See internal/server/replication.go.
 	Role string
 	// PrimaryURL is the primary's base URL, advertised to redirected write
-	// clients on a follower's 503 responses.
+	// clients on a follower's 503 responses. A live hint learned from the
+	// replication stream (the primary's own AdvertiseURL) takes precedence;
+	// see Registry.PrimaryURL.
 	PrimaryURL string
+	// NodeID is this node's stable identity, reported on
+	// GET /v1/replication/status so routers can correlate a reachable URL
+	// with a cluster-map entry. Empty omits the field.
+	NodeID string
+	// AdvertiseURL is the base URL at which THIS node is reachable by
+	// clients and routers. A primary stamps it on replication responses
+	// (X-Quickseld-Primary) and on /v1/replication/status, so followers —
+	// and through them, routers — learn the true reachable address even
+	// when the bind address is 0.0.0.0 or behind a NAT. Empty keeps the
+	// pre-advertise behaviour (no self-identification).
+	AdvertiseURL string
 	// ReplicationAck selects when a primary acknowledges writes: AckPrimary
 	// (default) at local durability, AckFollower once a follower's fetch
 	// watermark also covers the record (semi-synchronous; degrades to local

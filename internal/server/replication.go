@@ -127,8 +127,17 @@ func (r *Registry) Role() string {
 // IsPrimary reports whether the registry currently serves the primary role.
 func (r *Registry) IsPrimary() bool { return r.primary.Load() }
 
-// PrimaryURL reports the configured upstream primary ("" on a primary).
-func (r *Registry) PrimaryURL() string { return r.cfg.PrimaryURL }
+// PrimaryURL reports the upstream primary's base URL ("" on a primary).
+// A live address learned from the replication stream — the primary stamps
+// its -advertise-url on WAL responses — takes precedence over the
+// configured -primary-url, so the 503 hint a follower hands write clients
+// stays correct after a failover re-points the fetch loop.
+func (r *Registry) PrimaryURL() string {
+	if st := r.replicationStatus(); st != nil && st.AdvertisedPrimary != "" {
+		return st.AdvertisedPrimary
+	}
+	return r.cfg.PrimaryURL
+}
 
 // LastCovered reports the covered sequence number of the last persisted
 // snapshot (0 before one lands).
@@ -400,6 +409,10 @@ type ReplicationStatus struct {
 	GapResponses  uint64 `json:"gap_responses"`
 	Records       uint64 `json:"records"`
 	Bytes         uint64 `json:"bytes"`
+	// AdvertisedPrimary is the reachable base URL the primary stamped on
+	// its replication responses (its -advertise-url); empty when the
+	// primary does not advertise one.
+	AdvertisedPrimary string `json:"advertised_primary,omitempty"`
 }
 
 // SetReplicationStatus installs the follower's live status source (the
@@ -502,6 +515,12 @@ func (s *Server) handleReplicationWAL(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set(replica.HeaderFirst, strconv.FormatUint(first, 10))
 	w.Header().Set(replica.HeaderLast, strconv.FormatUint(last, 10))
 	w.Header().Set(replica.HeaderTail, strconv.FormatUint(wlog.DurableSeq(), 10))
+	if au := s.reg.cfg.AdvertiseURL; au != "" {
+		// Self-identification: followers learn the primary's reachable
+		// address from the stream itself, so the hint they hand write
+		// clients survives -primary-url pointing at a proxy or 0.0.0.0.
+		w.Header().Set(replica.HeaderPrimary, au)
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(frames)
@@ -579,6 +598,12 @@ func (s *Server) handleReplicationStatus(w http.ResponseWriter, _ *http.Request)
 		"role":     s.reg.Role(),
 		"ack_mode": s.reg.cfg.ReplicationAck,
 	}
+	if id := s.reg.cfg.NodeID; id != "" {
+		resp["node_id"] = id
+	}
+	if au := s.reg.cfg.AdvertiseURL; au != "" {
+		resp["advertise_url"] = au
+	}
 	if wlog := s.reg.wal; wlog != nil {
 		resp["wal"] = map[string]uint64{
 			"first_seq":   wlog.FirstSeq(),
@@ -592,7 +617,7 @@ func (s *Server) handleReplicationStatus(w http.ResponseWriter, _ *http.Request)
 		resp["ack_waits"] = s.reg.ackWaits.Load()
 		resp["ack_timeouts"] = s.reg.ackTimeouts.Load()
 	} else {
-		resp["primary_url"] = s.reg.cfg.PrimaryURL
+		resp["primary_url"] = s.reg.PrimaryURL()
 		resp["applied"] = s.reg.replApplied.Load()
 		if st := s.reg.replicationStatus(); st != nil {
 			resp["replication"] = st
