@@ -26,6 +26,7 @@
 //	GET    /v1/replication/snapshot  snapshot bootstrap for followers
 //	POST   /v1/replication/promote   promote this follower to primary (failover)
 //	GET    /v1/replication/status    replication role, watermarks, follower table
+//	GET    /v1/telemetry             versioned telemetry snapshot (mergeable by a router)
 //	GET    /metrics                  Prometheus metrics (labeled by method)
 //	GET    /healthz                  liveness probe
 //	GET    /readyz                   readiness probe (snapshot restored, WAL replayed, trainer running / replication caught up)
@@ -121,6 +122,7 @@ type flagValues struct {
 	pprof          bool
 	traceRing      int
 	slowRequest    time.Duration
+	traceSample    float64
 
 	// Replication (see ARCHITECTURE.md "Replication & failover").
 	role              string
@@ -177,6 +179,15 @@ func buildConfig(v flagValues) (server.Config, error) {
 	}
 	if v.traceRing < 0 {
 		return server.Config{}, fmt.Errorf("-trace-ring must not be negative, got %d", v.traceRing)
+	}
+	if math.IsNaN(v.traceSample) || v.traceSample < 0 || v.traceSample > 1 {
+		return server.Config{}, fmt.Errorf("-trace-sample must be in [0.0, 1.0], got %g", v.traceSample)
+	}
+	// Flag semantics: 0.0 disables tracing outright. Config semantics: the
+	// zero value selects the default rate, negative disables — so map here.
+	traceSample := v.traceSample
+	if traceSample == 0 {
+		traceSample = -1
 	}
 	role, err := server.ParseRole(v.role)
 	if err != nil {
@@ -237,6 +248,7 @@ func buildConfig(v flagValues) (server.Config, error) {
 		Logger:         logger,
 		TraceRingSize:  v.traceRing,
 		SlowRequest:    v.slowRequest,
+		TraceSample:    traceSample,
 		Pprof:          v.pprof,
 
 		Role:                  role,
@@ -284,6 +296,7 @@ func main() {
 	flag.BoolVar(&v.pprof, "pprof", false, "serve runtime profiles under /debug/pprof/ (opt-in: profiles expose call stacks and heap contents)")
 	flag.IntVar(&v.traceRing, "trace-ring", server.DefaultTraceRingSize, "completed request/train traces retained for GET /debug/requests")
 	flag.DurationVar(&v.slowRequest, "slow-request", server.DefaultSlowRequest, "log requests slower than this with their stage breakdown (negative disables)")
+	flag.Float64Var(&v.traceSample, "trace-sample", 1.0, "fraction of requests traced, 0.0-1.0, deterministic by request-id hash (an upstream router's sampling decision wins)")
 	flag.Parse()
 
 	if v.nodeID == "" {

@@ -35,9 +35,17 @@
 //	GET    /v1/{name}/accuracy       accuracy, routed to the owner's primary
 //	POST   /v1/snapshot              snapshot, fanned out to every primary
 //	GET    /v1/cluster/status        ring version + per-shard node health
-//	GET    /metrics                  router metrics (per-shard labels)
+//	GET    /v1/cluster/telemetry     federated cluster telemetry (merged + per node)
+//	GET    /metrics                  router metrics, cluster-merged
+//	                                 quickselcluster_* families, runtime gauges
 //	GET    /healthz                  liveness probe
 //	GET    /readyz                   readiness: every shard has a live primary
+//	GET    /debug/requests           completed-trace ring, stitched router→shard
+//
+// The router opens each traced request's root span and forwards trace
+// context to the shard on X-Quickseld-Traceparent; the shard echoes its
+// completed span back, so /debug/requests shows one stitched tree per
+// request. -trace-sample bounds tracing overhead at high QPS.
 //
 // On SIGINT/SIGTERM the router flips /readyz to 503 (so load balancers
 // drain it), then gracefully finishes in-flight proxied requests before
@@ -101,6 +109,9 @@ func main() {
 	maxReadLag := flag.Uint64("max-read-lag", 0, "staleness bound for follower reads, in WAL records behind the primary (0 = fully caught up only)")
 	healthInterval := flag.Duration("health-interval", time.Second, "per-node health probe period")
 	proxyTimeout := flag.Duration("proxy-timeout", 30*time.Second, "per-attempt bound on one proxied shard request")
+	traceSample := flag.Float64("trace-sample", 1.0, "fraction of requests traced, 0.0-1.0, deterministic by request-id hash (propagated cluster-wide)")
+	traceRing := flag.Int("trace-ring", 256, "completed-trace ring capacity behind GET /debug/requests")
+	slowRequest := flag.Duration("slow-request", 500*time.Millisecond, "slow-trace log threshold with dominant-hop attribution (0 disables)")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	logFormat := flag.String("log-format", "text", "log record format: text or json")
 	flag.Parse()
@@ -132,16 +143,23 @@ func main() {
 	if *proxyTimeout <= 0 {
 		fatal("quickselrouter: flags", errors.New("-proxy-timeout must be a positive duration"))
 	}
+	if *traceSample < 0 || *traceSample > 1 {
+		fatal("quickselrouter: flags", errors.New("-trace-sample must be in [0.0, 1.0]"))
+	}
+	if *traceRing <= 0 {
+		fatal("quickselrouter: flags", errors.New("-trace-ring must be positive"))
+	}
 
 	m, err := cluster.BuildMap(shards)
 	if err != nil {
 		fatal("quickselrouter: -shard", err)
 	}
 	tracker, err := cluster.NewTracker(m, cluster.TrackerConfig{
-		Interval:   *healthInterval,
-		MaxReadLag: *maxReadLag,
-		Vnodes:     *vnodes,
-		Logger:     logger,
+		Interval:      *healthInterval,
+		MaxReadLag:    *maxReadLag,
+		Vnodes:        *vnodes,
+		Logger:        logger,
+		PollTelemetry: true,
 	})
 	if err != nil {
 		fatal("quickselrouter: tracker", err)
@@ -149,7 +167,17 @@ func main() {
 	tracker.Start()
 	defer tracker.Stop()
 
-	router := newRouter(tracker, *readFromFollowers, &http.Client{Timeout: *proxyTimeout}, logger)
+	router := newRouter(tracker, routerConfig{
+		readFromFollowers: *readFromFollowers,
+		client:            &http.Client{Timeout: *proxyTimeout},
+		log:               logger,
+		traceSample:       *traceSample,
+		traceRingSize:     *traceRing,
+		slowRequest:       *slowRequest,
+		// A snapshot older than three health cycles means the node stopped
+		// answering its telemetry poll: flag it stale.
+		staleAfter: 3 * *healthInterval,
+	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -55,6 +55,17 @@ type Router struct {
 
 	readFromFollowers bool
 
+	// Root-span tracing: ring retains completed (stitched) request traces
+	// for GET /debug/requests; sampleRate is the deterministic request-id
+	// sampling fraction, propagated to shards on the traceparent header so
+	// the whole cluster agrees per request.
+	ring       *obs.Ring
+	sampleRate float64
+
+	// staleAfter bounds how old a node's federated telemetry snapshot may
+	// be before its quickselcluster_telemetry_stale gauge flips to 1.
+	staleAfter time.Duration
+
 	// Per-shard serving metrics; the map is built at boot (the shard set is
 	// static for the process lifetime) so lookups are lock-free.
 	shards map[string]*shardMetrics
@@ -73,12 +84,38 @@ type shardMetrics struct {
 	latency  obs.Histogram
 }
 
-func newRouter(tracker *cluster.Tracker, readFromFollowers bool, client *http.Client, log *slog.Logger) *Router {
+// routerConfig carries newRouter's knobs (the tracker travels separately:
+// it is the one collaborator every test swaps).
+type routerConfig struct {
+	readFromFollowers bool
+	client            *http.Client
+	log               *slog.Logger
+	// traceSample is the traced fraction of /v1 requests, decided at the
+	// router and propagated cluster-wide (<=0 none, >=1 all).
+	traceSample float64
+	// traceRingSize is the completed-trace ring capacity (0 = 256).
+	traceRingSize int
+	// slowRequest gates the slow-trace warn log (0 disables).
+	slowRequest time.Duration
+	// staleAfter is the federated-telemetry staleness bound (0 = 3s).
+	staleAfter time.Duration
+}
+
+func newRouter(tracker *cluster.Tracker, cfg routerConfig) *Router {
+	if cfg.traceRingSize <= 0 {
+		cfg.traceRingSize = 256
+	}
+	if cfg.staleAfter <= 0 {
+		cfg.staleAfter = 3 * time.Second
+	}
 	rt := &Router{
 		tracker:           tracker,
-		client:            client,
-		log:               log,
-		readFromFollowers: readFromFollowers,
+		client:            cfg.client,
+		log:               cfg.log,
+		readFromFollowers: cfg.readFromFollowers,
+		ring:              obs.NewRing(cfg.traceRingSize, cfg.slowRequest, cfg.log),
+		sampleRate:        cfg.traceSample,
+		staleAfter:        cfg.staleAfter,
 		shards:            make(map[string]*shardMetrics),
 		mux:               http.NewServeMux(),
 	}
@@ -99,29 +136,85 @@ func newRouter(tracker *cluster.Tracker, readFromFollowers bool, client *http.Cl
 	m.HandleFunc("GET /v1/{name}/accuracy", rt.byName(false))
 	m.HandleFunc("POST /v1/snapshot", rt.handleSnapshotFanout)
 	m.HandleFunc("GET /v1/cluster/status", rt.handleClusterStatus)
+	m.HandleFunc("GET /v1/cluster/telemetry", rt.handleClusterTelemetry)
 	m.HandleFunc("GET /metrics", rt.handleMetrics)
 	m.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
 	m.HandleFunc("GET /readyz", rt.handleReadyz)
+	m.HandleFunc("GET /debug/requests", rt.handleDebugRequests)
 	return rt
 }
 
+// ServeHTTP traces proxied /v1 traffic: the router opens the request's root
+// span, decides the cluster-wide sampling fate (deterministic by request-id
+// hash), and records the completed — and, via the shards' X-Quickseld-Trace
+// echoes, stitched — trace into the ring behind GET /debug/requests.
+// Cluster-status/telemetry and operational endpoints stay untraced so polls
+// don't wash real traffic out of the ring.
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if strings.HasPrefix(r.URL.Path, "/v1/") {
-		rt.reqTotal.Add(1)
-		if r.Body != nil {
-			r.Body = http.MaxBytesReader(w, r.Body, server.MaxRequestBytes)
-		}
+	if !strings.HasPrefix(r.URL.Path, "/v1/") {
+		rt.mux.ServeHTTP(w, r)
+		return
 	}
-	rt.mux.ServeHTTP(w, r)
+	rt.reqTotal.Add(1)
+	if r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, server.MaxRequestBytes)
+	}
+	if strings.HasPrefix(r.URL.Path, "/v1/cluster/") {
+		rt.mux.ServeHTTP(w, r)
+		return
+	}
+	// Normalize the request ID onto the inbound header: every downstream
+	// helper (proxy, fan-out) reads it from one place, and sampled-out
+	// requests still propagate it even though they record no span.
+	id := obs.AdoptID(r.Header.Get("X-Request-Id"))
+	r.Header.Set("X-Request-Id", id)
+	w.Header().Set("X-Request-Id", id)
+	if !obs.SampleRequestID(id, rt.sampleRate) {
+		rt.mux.ServeHTTP(w, r)
+		return
+	}
+	sp := obs.StartSpanWithID("router", r.Method+" "+r.URL.Path, id)
+	sw := &statusWriter{ResponseWriter: w}
+	rt.mux.ServeHTTP(sw, r.WithContext(obs.WithSpan(r.Context(), sp)))
+	code := sw.code
+	if code == 0 {
+		code = http.StatusOK
+	}
+	sp.SetStatus(code)
+	rt.ring.Record(sp.End())
 }
 
-// requestID reuses the client's X-Request-Id or mints one, so the router's
+// statusWriter captures the response status for the request trace.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// requestID reads the ID ServeHTTP normalized onto the inbound header (or
+// mints one for paths that bypass the traced front door), so the router's
 // logs and every proxied shard request share one correlatable ID.
 func requestID(r *http.Request) string {
-	return obs.StartSpanWithID("router", r.Method+" "+r.URL.Path, r.Header.Get("X-Request-Id")).ID()
+	if id := r.Header.Get("X-Request-Id"); id != "" {
+		return obs.AdoptID(id)
+	}
+	return obs.NewRequestID()
 }
 
 type errorBody struct {
@@ -159,7 +252,12 @@ func (rt *Router) doOnce(r *http.Request, target, reqID string, body []byte) (*p
 	if ct := r.Header.Get("Content-Type"); ct != "" {
 		req.Header.Set("Content-Type", ct)
 	}
+	sp := obs.SpanFrom(r.Context())
 	req.Header.Set("X-Request-Id", reqID)
+	// Always send trace context, even sampled-out (sp == nil): the flag
+	// tells the shard the cluster-wide fate, so it neither re-samples
+	// locally nor echoes a span nobody will stitch.
+	req.Header.Set(obs.HeaderTraceParent, obs.FormatTraceParent(reqID, sp.SpanID(), sp != nil))
 	resp, err := rt.client.Do(req)
 	if err != nil {
 		return nil, err
@@ -171,7 +269,25 @@ func (rt *Router) doOnce(r *http.Request, target, reqID string, body []byte) (*p
 	if err != nil {
 		return nil, err
 	}
+	traceChild(sp, resp)
 	return &proxyResult{status: resp.StatusCode, header: resp.Header, body: b}, nil
+}
+
+// traceChild attaches the shard's echoed completed span to the router's
+// root span. The echo travels as an HTTP trailer (the shard's span only
+// completes after its body), readable once the body is drained; older nodes
+// that answered before the trailer announcement fall back to the header.
+func traceChild(sp *obs.Span, resp *http.Response) {
+	if sp == nil {
+		return
+	}
+	v := resp.Trailer.Get(obs.HeaderTrace)
+	if v == "" {
+		v = resp.Header.Get(obs.HeaderTrace)
+	}
+	if t, ok := obs.DecodeTraceHeader(v); ok {
+		sp.AddChild(t)
+	}
 }
 
 // proxyShard forwards a request to a shard, retrying once on a 503 (the
@@ -196,8 +312,10 @@ func (rt *Router) proxyShard(w http.ResponseWriter, r *http.Request, shard strin
 		body = b
 	}
 	reqID := requestID(r)
+	sp := obs.SpanFrom(r.Context())
 
 	target, followerRead := rt.pickTarget(shard, read)
+	sp.Stage("queue") // body read + target pick: time before the wire
 	if target == "" {
 		sm.errors.Add(1)
 		rt.reqErrors.Add(1)
@@ -208,6 +326,7 @@ func (rt *Router) proxyShard(w http.ResponseWriter, r *http.Request, shard strin
 	}
 
 	res, err := rt.doOnce(r, target, reqID, body)
+	sp.Stage("proxy")
 	if err == nil && res.status != http.StatusServiceUnavailable {
 		rt.replyWith(w, res, reqID, followerRead)
 		return
@@ -248,6 +367,7 @@ func (rt *Router) proxyShard(w http.ResponseWriter, r *http.Request, shard strin
 	}
 	rt.retried.Add(1)
 	res2, err2 := rt.doOnce(r, retryTarget, reqID, body)
+	sp.Stage("retry")
 	if err2 != nil {
 		sm.errors.Add(1)
 		rt.reqErrors.Add(1)
@@ -536,6 +656,7 @@ func (rt *Router) estimateSubBatch(r *http.Request, shard, estimator, reqID stri
 		return nil, fmt.Errorf("no known primary")
 	}
 	u := target + "/v1/" + estimator + "/estimate/batch"
+	sp := obs.SpanFrom(r.Context())
 	attempt := func(u string) (*proxyResult, error) {
 		req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, u, bytes.NewReader(body))
 		if err != nil {
@@ -543,6 +664,7 @@ func (rt *Router) estimateSubBatch(r *http.Request, shard, estimator, reqID stri
 		}
 		req.Header.Set("Content-Type", "application/json")
 		req.Header.Set("X-Request-Id", reqID)
+		req.Header.Set(obs.HeaderTraceParent, obs.FormatTraceParent(reqID, sp.SpanID(), sp != nil))
 		resp, err := rt.client.Do(req)
 		if err != nil {
 			return nil, err
@@ -552,6 +674,7 @@ func (rt *Router) estimateSubBatch(r *http.Request, shard, estimator, reqID stri
 		if err != nil {
 			return nil, err
 		}
+		traceChild(sp, resp)
 		return &proxyResult{status: resp.StatusCode, header: resp.Header, body: b}, nil
 	}
 	res, err := attempt(u)
@@ -673,16 +796,17 @@ func (rt *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 // listener.
 func (rt *Router) SetDraining() { rt.draining.Store(true) }
 
-// handleMetrics serves the router's Prometheus exposition: cluster-level
-// counters plus per-shard request/error counters and latency histograms,
-// labeled by shard.
+// handleMetrics serves the router's Prometheus exposition: the router's own
+// counters and per-shard serving series, the cluster-merged
+// quickselcluster_* families federated from every node's /v1/telemetry
+// (with per-node staleness gauges), and the process build/runtime gauges.
 func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
 	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
 	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
 	}
 	counter("quickselrouter_requests_total", "Total /v1 requests accepted by the router.", rt.reqTotal.Load())
 	counter("quickselrouter_request_errors_total", "Requests answered with a 5xx (upstream or router).", rt.reqErrors.Load())
@@ -697,18 +821,50 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	gauge("quickselrouter_ring_vnodes", "Virtual nodes per shard on the placement ring.", float64(rt.tracker.Ring().Vnodes()))
 
 	// Per-shard serving metrics. Shards in ring order for a stable scrape.
-	fmt.Fprintf(w, "# HELP quickselrouter_shard_requests_total Requests proxied to the shard.\n")
-	fmt.Fprintf(w, "# TYPE quickselrouter_shard_requests_total counter\n")
+	fmt.Fprintf(&b, "# HELP quickselrouter_shard_requests_total Requests proxied to the shard.\n")
+	fmt.Fprintf(&b, "# TYPE quickselrouter_shard_requests_total counter\n")
 	for _, id := range rt.tracker.Ring().Shards() {
-		fmt.Fprintf(w, "quickselrouter_shard_requests_total{shard=%q} %d\n", id, rt.shards[id].requests.Load())
+		fmt.Fprintf(&b, "quickselrouter_shard_requests_total{shard=%q} %d\n", id, rt.shards[id].requests.Load())
 	}
-	fmt.Fprintf(w, "# HELP quickselrouter_shard_errors_total Proxied requests that failed (5xx or unreachable).\n")
-	fmt.Fprintf(w, "# TYPE quickselrouter_shard_errors_total counter\n")
+	fmt.Fprintf(&b, "# HELP quickselrouter_shard_errors_total Proxied requests that failed (5xx or unreachable).\n")
+	fmt.Fprintf(&b, "# TYPE quickselrouter_shard_errors_total counter\n")
 	for _, id := range rt.tracker.Ring().Shards() {
-		fmt.Fprintf(w, "quickselrouter_shard_errors_total{shard=%q} %d\n", id, rt.shards[id].errors.Load())
+		fmt.Fprintf(&b, "quickselrouter_shard_errors_total{shard=%q} %d\n", id, rt.shards[id].errors.Load())
 	}
+	fmt.Fprintf(&b, "# HELP quickselrouter_shard_request_seconds Proxied request latency through the router, per shard.\n")
+	fmt.Fprintf(&b, "# TYPE quickselrouter_shard_request_seconds histogram\n")
 	for _, id := range rt.tracker.Ring().Shards() {
 		snap := rt.shards[id].latency.Snapshot()
-		snap.WritePrometheus(w, "quickselrouter_shard_request_seconds", fmt.Sprintf("shard=%q", id))
+		snap.WritePrometheus(&b, "quickselrouter_shard_request_seconds", fmt.Sprintf("shard=%q", id))
 	}
+
+	// Cluster-merged families federated from the shards' telemetry polls:
+	// counters summed, histograms merged bucket-wise per (shard, role),
+	// plus the per-node staleness gauges.
+	fed := cluster.Federate(rt.tracker.Telemetry(), rt.staleAfter, time.Now())
+	fed.WritePrometheus(&b)
+	obs.WriteRuntimeMetrics(&b, "quickselrouter")
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, b.String())
+}
+
+// handleClusterTelemetry serves the structured federated view: the merged
+// cluster-level telemetry plus every node's raw snapshot with provenance,
+// for consumers that want more than the flattened Prometheus families.
+func (rt *Router) handleClusterTelemetry(w http.ResponseWriter, _ *http.Request) {
+	nodes := rt.tracker.Telemetry()
+	rt.writeJSON(w, http.StatusOK, map[string]any{
+		"version": obs.TelemetryVersion,
+		"merged":  cluster.Federate(nodes, rt.staleAfter, time.Now()),
+		"nodes":   nodes,
+	})
+}
+
+// handleDebugRequests dumps the router's completed-trace ring, newest first.
+// Traced requests carry the shards' echoed child spans, so each entry is the
+// stitched tree: router queue → proxy → node decode → model → encode.
+func (rt *Router) handleDebugRequests(w http.ResponseWriter, _ *http.Request) {
+	rt.writeJSON(w, http.StatusOK, map[string]any{"traces": rt.ring.Traces()})
 }

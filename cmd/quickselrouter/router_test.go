@@ -29,6 +29,8 @@ type fakeShard struct {
 	estimators []string           // GET /v1/estimators answer
 	sels       map[string]float64 // per-where batch selectivity answer
 	reject503  string             // when set, /v1 writes 503 with this primary hint
+	telem      *obs.Telemetry     // GET /v1/telemetry answer (404 when nil)
+	nodeID     string             // stamped on echoed trace headers
 	reqs       []recordedReq
 }
 
@@ -56,6 +58,16 @@ func newFakeShard(t *testing.T, role string) *fakeShard {
 		}
 		json.NewEncoder(w).Encode(resp)
 	})
+	mux.HandleFunc("GET /v1/telemetry", func(w http.ResponseWriter, _ *http.Request) {
+		f.mu.Lock()
+		tel := f.telem
+		f.mu.Unlock()
+		if tel == nil {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		json.NewEncoder(w).Encode(tel)
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		body, _ := io.ReadAll(r.Body)
 		f.mu.Lock()
@@ -67,6 +79,21 @@ func newFakeShard(t *testing.T, role string) *fakeShard {
 			body:   string(body),
 		})
 		reject := f.reject503
+		node := f.nodeID
+		// Mirror quickseld's trace echo: a sampled upstream traceparent gets
+		// the completed child span back on X-Quickseld-Trace (a plain header
+		// here — the router also accepts the non-trailer form).
+		if id, parent, sampled, ok := obs.ParseTraceParent(r.Header.Get(obs.HeaderTraceParent)); ok && sampled {
+			child := obs.Trace{
+				ID: id, Parent: parent, Node: node, Kind: "http",
+				Name:   r.Method + " " + r.URL.Path,
+				Status: http.StatusOK,
+				Stages: []obs.Stage{{Name: "decode", Dur: time.Microsecond}, {Name: "model", Dur: time.Millisecond}},
+			}
+			if v, ok := obs.EncodeTraceHeader(child); ok {
+				w.Header().Set(obs.HeaderTrace, v)
+			}
+		}
 		ests := append([]string(nil), f.estimators...)
 		sels := make(map[string]float64, len(f.sels))
 		for k, v := range f.sels {
@@ -168,7 +195,12 @@ func testRouter(t *testing.T, shards map[string][]*fakeShard, startTracker, read
 		tracker.Start()
 		t.Cleanup(tracker.Stop)
 	}
-	rt := newRouter(tracker, readFollowers, &http.Client{Timeout: 5 * time.Second}, obs.Discard())
+	rt := newRouter(tracker, routerConfig{
+		readFromFollowers: readFollowers,
+		client:            &http.Client{Timeout: 5 * time.Second},
+		log:               obs.Discard(),
+		traceSample:       1.0,
+	})
 	srv := httptest.NewServer(rt)
 	t.Cleanup(srv.Close)
 	return rt, srv
@@ -597,5 +629,244 @@ func TestParseShardFlag(t *testing.T) {
 		if _, err := parseShardFlag(bad); err == nil {
 			t.Fatalf("%q parsed without error", bad)
 		}
+	}
+}
+
+// shardTelemetry builds a minimal quickseld-shaped telemetry snapshot for a
+// fake shard: one counter and one latency histogram with n observations.
+func shardTelemetry(node, role string, requests float64, n int) *obs.Telemetry {
+	var h obs.Histogram
+	for i := 0; i < n; i++ {
+		h.Observe(time.Duration(i+1) * time.Millisecond)
+	}
+	return &obs.Telemetry{
+		Version: obs.TelemetryVersion,
+		Node:    node,
+		Role:    role,
+		Families: []obs.Family{
+			{
+				Name: "quickseld_requests_estimate_total", Help: "Estimates.", Type: "counter",
+				Series: []obs.NumSeries{{Value: requests}},
+			},
+			{
+				Name: "quickseld_estimate_duration_seconds", Help: "Estimate latency.", Type: "histogram",
+				Hist: []obs.HistSeries{obs.HistSeriesFrom(map[string]string{"estimator": "people"}, h.Snapshot())},
+			},
+		},
+	}
+}
+
+// TestRouterFederatedMetrics: with telemetry polling on, the router's
+// /metrics grows cluster-merged quickselcluster_* families — counters
+// summed and histogram buckets merged across shards, labeled by shard and
+// role — and the whole body passes the exposition validator.
+func TestRouterFederatedMetrics(t *testing.T) {
+	a, b := newFakeShard(t, "primary"), newFakeShard(t, "primary")
+	a.mu.Lock()
+	a.telem = shardTelemetry("node-a", "primary", 10, 3)
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.telem = shardTelemetry("node-b", "primary", 4, 2)
+	b.mu.Unlock()
+
+	m, err := cluster.BuildMap([]cluster.Shard{
+		{ID: "s0", Nodes: []cluster.Node{{URL: a.srv.URL}}},
+		{ID: "s1", Nodes: []cluster.Node{{URL: b.srv.URL}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracker, err := cluster.NewTracker(m, cluster.TrackerConfig{
+		Interval:      20 * time.Millisecond,
+		Logger:        obs.Discard(),
+		PollTelemetry: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracker.Start()
+	t.Cleanup(tracker.Stop)
+	rt := newRouter(tracker, routerConfig{
+		client:      &http.Client{Timeout: 5 * time.Second},
+		log:         obs.Discard(),
+		traceSample: 1.0,
+		staleAfter:  time.Minute,
+	})
+	srv := httptest.NewServer(rt)
+	t.Cleanup(srv.Close)
+	waitReady(t, srv.URL)
+
+	// Wait for both shards' snapshots to arrive at the tracker.
+	deadline := time.Now().Add(5 * time.Second)
+	var metrics string
+	for {
+		_, body, _ := doReq(t, "GET", srv.URL+"/metrics", "", nil)
+		metrics = string(body)
+		if strings.Contains(metrics, `quickselcluster_requests_estimate_total{role="primary",shard="s0"} 10`) &&
+			strings.Contains(metrics, `quickselcluster_requests_estimate_total{role="primary",shard="s1"} 4`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("federated families never appeared on /metrics:\n%s", metrics)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if err := obs.ValidateExposition(strings.NewReader(metrics)); err != nil {
+		t.Fatalf("federated /metrics exposition invalid: %v", err)
+	}
+	for _, want := range []string{
+		`quickselcluster_estimate_duration_seconds_count{estimator="people",role="primary",shard="s0"} 3`,
+		`quickselcluster_estimate_duration_seconds_count{estimator="people",role="primary",shard="s1"} 2`,
+		`quickselcluster_telemetry_stale{node="s0/0",shard="s0"} 0`,
+		"quickselcluster_telemetry_age_seconds{",
+		"quickselrouter_build_info{",
+		"quickselrouter_goroutines ",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("federated /metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// /v1/cluster/telemetry serves the merged view plus raw per-node
+	// snapshots with provenance.
+	status, body, _ := doReq(t, "GET", srv.URL+"/v1/cluster/telemetry", "", nil)
+	if status != http.StatusOK {
+		t.Fatalf("cluster telemetry status %d: %s", status, body)
+	}
+	var ct struct {
+		Version int                     `json:"version"`
+		Merged  obs.Telemetry           `json:"merged"`
+		Nodes   []cluster.NodeTelemetry `json:"nodes"`
+	}
+	if err := json.Unmarshal(body, &ct); err != nil {
+		t.Fatalf("decode cluster telemetry %s: %v", body, err)
+	}
+	if ct.Version != obs.TelemetryVersion || len(ct.Nodes) != 2 {
+		t.Fatalf("cluster telemetry = version %d, %d nodes", ct.Version, len(ct.Nodes))
+	}
+	for _, n := range ct.Nodes {
+		if n.Telemetry == nil || n.Err != "" || n.Role != "primary" {
+			t.Fatalf("node telemetry incomplete: %+v", n)
+		}
+	}
+}
+
+// TestRouterTraceStitching: a traced request through the router produces
+// one tree in /debug/requests — the router's root span with its queue and
+// proxy stages plus the shard's echoed child span, parented correctly.
+func TestRouterTraceStitching(t *testing.T) {
+	a := newFakeShard(t, "primary")
+	a.mu.Lock()
+	a.nodeID = "shard-node-1"
+	a.mu.Unlock()
+	_, srv := testRouter(t, map[string][]*fakeShard{"s0": {a}}, false, false)
+
+	status, _, hdr := doReq(t, "GET", srv.URL+"/v1/people/estimate?where=x", "", nil)
+	if status != http.StatusOK {
+		t.Fatalf("estimate status %d", status)
+	}
+	id := hdr.Get("X-Request-Id")
+	if id == "" {
+		t.Fatal("no X-Request-Id on traced response")
+	}
+
+	status, body, _ := doReq(t, "GET", srv.URL+"/debug/requests", "", nil)
+	if status != http.StatusOK {
+		t.Fatalf("debug requests status %d", status)
+	}
+	var dbg struct {
+		Traces []obs.Trace `json:"traces"`
+	}
+	if err := json.Unmarshal(body, &dbg); err != nil {
+		t.Fatal(err)
+	}
+	var root *obs.Trace
+	for i := range dbg.Traces {
+		if dbg.Traces[i].ID == id {
+			root = &dbg.Traces[i]
+			break
+		}
+	}
+	if root == nil {
+		t.Fatalf("request %s not in /debug/requests (%d traces)", id, len(dbg.Traces))
+	}
+	if root.Kind != "router" || root.Status != http.StatusOK {
+		t.Fatalf("root span = kind %q status %d", root.Kind, root.Status)
+	}
+	stages := map[string]bool{}
+	for _, st := range root.Stages {
+		stages[st.Name] = true
+	}
+	if !stages["queue"] || !stages["proxy"] {
+		t.Fatalf("root stages %v missing queue/proxy", root.Stages)
+	}
+	if len(root.Children) != 1 {
+		t.Fatalf("stitched children = %d, want 1", len(root.Children))
+	}
+	child := root.Children[0]
+	if child.ID != id || child.Node != "shard-node-1" || child.Parent != root.SpanID {
+		t.Fatalf("child span = id %q node %q parent %q (root span %q)",
+			child.ID, child.Node, child.Parent, root.SpanID)
+	}
+	var childStages []string
+	for _, st := range child.Stages {
+		childStages = append(childStages, st.Name)
+	}
+	if !strings.Contains(strings.Join(childStages, ","), "model") {
+		t.Fatalf("child stages %v missing model", childStages)
+	}
+}
+
+// TestRouterTraceSamplingOff: with -trace-sample 0 the router propagates
+// the unsampled decision to the shard (so it does not trace either) while
+// the request id still flows; nothing lands in the trace ring.
+func TestRouterTraceSamplingOff(t *testing.T) {
+	a := newFakeShard(t, "primary")
+	specs := []cluster.Shard{{ID: "s0", Nodes: []cluster.Node{{URL: a.srv.URL}}}}
+	m, err := cluster.BuildMap(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracker, err := cluster.NewTracker(m, cluster.TrackerConfig{
+		Interval: 20 * time.Millisecond,
+		Logger:   obs.Discard(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := newRouter(tracker, routerConfig{
+		client:      &http.Client{Timeout: 5 * time.Second},
+		log:         obs.Discard(),
+		traceSample: 0,
+	})
+	srv := httptest.NewServer(rt)
+	t.Cleanup(srv.Close)
+
+	status, _, hdr := doReq(t, "GET", srv.URL+"/v1/people/estimate?where=x", "", nil)
+	if status != http.StatusOK {
+		t.Fatalf("estimate status %d", status)
+	}
+	if hdr.Get("X-Request-Id") == "" {
+		t.Fatal("sampled-out request lost its X-Request-Id")
+	}
+
+	reqs := a.requests()
+	if len(reqs) != 1 {
+		t.Fatalf("shard requests = %d", len(reqs))
+	}
+
+	status, body, _ := doReq(t, "GET", srv.URL+"/debug/requests", "", nil)
+	if status != http.StatusOK {
+		t.Fatalf("debug requests status %d", status)
+	}
+	var dbg struct {
+		Traces []obs.Trace `json:"traces"`
+	}
+	if err := json.Unmarshal(body, &dbg); err != nil {
+		t.Fatal(err)
+	}
+	if len(dbg.Traces) != 0 {
+		t.Fatalf("sampled-out request recorded %d traces", len(dbg.Traces))
 	}
 }

@@ -1,0 +1,227 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"quicksel/internal/cluster"
+	"quicksel/internal/obs"
+)
+
+// The telemetry-plane acceptance test: two primary-only shards behind one
+// router, all real binaries. Asserts the three tentpole behaviors end to
+// end: (a) the router's /metrics grows cluster-merged quickselcluster_*
+// histogram families that pass the exposition validator, (b) one traced
+// request yields a single stitched router→node tree in /debug/requests
+// with per-hop stage timings, and (c) the federated q-error family reacts
+// to injected bad feedback.
+func TestClusterTelemetryE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon and router binaries")
+	}
+	daemonBin := buildBinary(t, "quicksel/cmd/quickseld", "quickseld")
+	routerBin := buildBinary(t, "quicksel/cmd/quickselrouter", "quickselrouter")
+
+	startNode := func(id string) *proc {
+		addr := clusterFreeAddr(t)
+		p := startProc(t, daemonBin, addr,
+			"-train-interval", "1h",
+			"-drift-threshold", "-1",
+			"-seed", "7",
+			"-advertise-url", "http://"+addr,
+			"-node-id", id)
+		p.waitReady(15 * time.Second)
+		return p
+	}
+	n0, n1 := startNode("s0/p"), startNode("s1/p")
+
+	router := startProc(t, routerBin, clusterFreeAddr(t),
+		"-shard", "s0="+n0.base,
+		"-shard", "s1="+n1.base,
+		"-health-interval", "100ms")
+	router.waitReady(15 * time.Second)
+
+	// One estimator per shard, names computed from the same ring the
+	// router builds.
+	m, err := cluster.BuildMap([]cluster.Shard{
+		{ID: "s0", Nodes: []cluster.Node{{URL: n0.base}}},
+		{ID: "s1", Nodes: []cluster.Node{{URL: n1.base}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := cluster.NewRing(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	estA, estB := "", ""
+	for i := 0; estA == "" || estB == ""; i++ {
+		name := fmt.Sprintf("tbl%02d", i)
+		switch {
+		case ring.Owner(name) == "s0" && estA == "":
+			estA = name
+		case ring.Owner(name) == "s1" && estB == "":
+			estB = name
+		}
+	}
+	router.createEstimator(estA)
+	router.createEstimator(estB)
+
+	// Traffic through the router: consistent feedback for both estimators,
+	// then a train and some estimate reads so every latency family on both
+	// shards carries samples.
+	router.stream(estA, clusterObservations(40, 3), 10)
+	router.stream(estB, clusterObservations(40, 5), 10)
+	router.train(estA)
+	router.train(estB)
+	for i := 0; i < 5; i++ {
+		router.estimate(estA, "age >= 40")
+		router.estimate(estB, "salary < 90000")
+	}
+
+	// (a) Federation: poll the router's /metrics until the cluster-merged
+	// estimate-latency histogram from both shards appears, then validate
+	// the entire body against the exposition grammar.
+	var metrics string
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, body := router.get("/metrics")
+		metrics = string(body)
+		if strings.Contains(metrics, `quickselcluster_estimate_duration_seconds_count{estimator="`+estA+`",method="quicksel",role="primary",shard="s0"}`) &&
+			strings.Contains(metrics, `quickselcluster_estimate_duration_seconds_count{estimator="`+estB+`",method="quicksel",role="primary",shard="s1"}`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("federated histogram families never appeared on the router's /metrics:\n%s", metrics)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if err := obs.ValidateExposition(strings.NewReader(metrics)); err != nil {
+		t.Fatalf("router federated /metrics exposition invalid: %v", err)
+	}
+	for _, want := range []string{
+		"# TYPE quickselcluster_estimate_duration_seconds histogram",
+		"# TYPE quickselcluster_observe_duration_seconds histogram",
+		"# TYPE quickselcluster_qerror histogram",
+		`quickselcluster_telemetry_stale{node="s0/0",shard="s0"} 0`,
+		`quickselcluster_telemetry_stale{node="s1/0",shard="s1"} 0`,
+		"quickselrouter_build_info{",
+		"quickselcluster_estimate_duration_seconds_bucket{",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("router /metrics missing %q", want)
+		}
+	}
+
+	// (b) Trace stitching: the estimate reads above were traced (default
+	// -trace-sample 1.0); /debug/requests must show at least one router
+	// root span with the shard's echoed child span parented under it,
+	// carrying the node's per-hop stage timings.
+	status, body := router.get("/debug/requests")
+	if status != http.StatusOK {
+		t.Fatalf("debug requests: status %d: %s", status, body)
+	}
+	var dbg struct {
+		Traces []obs.Trace `json:"traces"`
+	}
+	if err := json.Unmarshal(body, &dbg); err != nil {
+		t.Fatal(err)
+	}
+	stitched := false
+	for _, tr := range dbg.Traces {
+		if tr.Kind != "router" || len(tr.Children) != 1 {
+			continue
+		}
+		child := tr.Children[0]
+		if child.ID != tr.ID || child.Parent != tr.SpanID {
+			t.Fatalf("child span mis-parented: trace id %q span %q, child id %q parent %q",
+				tr.ID, tr.SpanID, child.ID, child.Parent)
+		}
+		if child.Node != "s0/p" && child.Node != "s1/p" {
+			t.Fatalf("child span from unknown node %q", child.Node)
+		}
+		var names []string
+		for _, st := range child.Stages {
+			names = append(names, st.Name)
+		}
+		if strings.Contains(strings.Join(names, ","), "model") {
+			stitched = true
+			break
+		}
+	}
+	if !stitched {
+		t.Fatalf("no stitched router→node trace with a model stage in /debug/requests (%d traces)", len(dbg.Traces))
+	}
+
+	// (c) Accuracy telemetry: inject wildly wrong feedback for estA — the
+	// model serves ~what it was trained on, the claimed selectivities are
+	// the opposite extreme — and the federated q-error tail for that shard
+	// must blow past any value consistent feedback produced.
+	fetchQErr := func() obs.HistSnapshot {
+		status, body := router.get("/v1/cluster/telemetry")
+		if status != http.StatusOK {
+			t.Fatalf("cluster telemetry: status %d: %s", status, body)
+		}
+		var ct struct {
+			Merged obs.Telemetry `json:"merged"`
+		}
+		if err := json.Unmarshal(body, &ct); err != nil {
+			t.Fatal(err)
+		}
+		var merged obs.HistSnapshot
+		for _, f := range ct.Merged.Families {
+			if f.Name != "quickselcluster_qerror" {
+				continue
+			}
+			for _, hs := range f.Hist {
+				if hs.Labels["shard"] != "s0" {
+					continue
+				}
+				snap, ok := hs.Snapshot()
+				if !ok {
+					t.Fatal("qerror series with incompatible geometry")
+				}
+				merged.Merge(snap)
+			}
+		}
+		return merged
+	}
+
+	waitTelemetry := func(minTotal uint64) obs.HistSnapshot {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			snap := fetchQErr()
+			if snap.Total >= minTotal {
+				return snap
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("federated qerror total stuck at %d, want >= %d", snap.Total, minTotal)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	before := waitTelemetry(40) // the consistent stream: 40 scored samples
+	beforeP99 := before.ValueQuantile(0.99)
+
+	bad := make([]map[string]any, 20)
+	for i := range bad {
+		// The trained model estimates these broad predicates well above
+		// 1e-4, so claiming one-in-ten-thousand yields q-errors in the
+		// hundreds-to-thousands range.
+		bad[i] = map[string]any{
+			"where":       fmt.Sprintf("age >= %d", 20+i),
+			"selectivity": 0.0001,
+		}
+	}
+	router.stream(estA, bad, 10)
+
+	after := waitTelemetry(before.Total + 20)
+	afterP99 := after.ValueQuantile(0.99)
+	if afterP99 <= beforeP99*2 || afterP99 < 10 {
+		t.Fatalf("federated qerror p99 did not react to bad feedback: before %.3g, after %.3g", beforeP99, afterP99)
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"quicksel/internal/obs"
 )
 
 // TrackerConfig tunes the health tracker. Zero values select the defaults
@@ -32,6 +34,12 @@ type TrackerConfig struct {
 	// (default DefaultVnodes). Every router over one cluster must use the
 	// same value, or they will disagree on ownership.
 	Vnodes int
+	// PollTelemetry extends each probe round with GET /v1/telemetry, the
+	// node's full metric snapshot, for the router's federated cluster view
+	// (Tracker.Telemetry and cluster.Federate). Off by default: only a
+	// front door that actually serves the federated families should pay
+	// the extra request per node per cycle.
+	PollTelemetry bool
 	// Client issues the probes; default is a plain http.Client with the
 	// probe timeout.
 	Client *http.Client
@@ -84,6 +92,14 @@ type nodeState struct {
 	node  Node
 	mu    sync.Mutex
 	st    NodeStatus
+
+	// Latest telemetry snapshot polled from GET /v1/telemetry (nil before
+	// the first successful poll; only fetched under PollTelemetry), guarded
+	// by mu. A failed poll keeps the previous snapshot and its fetch time,
+	// so the node's staleness gauge grows instead of the data vanishing.
+	telem    *obs.Telemetry
+	telemAt  time.Time
+	telemErr string
 }
 
 // Tracker polls every node in a shard map — GET /readyz for serving
@@ -263,6 +279,20 @@ func (t *Tracker) probe(ns *nodeState) bool {
 	}
 	ns.st = cur
 	ns.mu.Unlock()
+
+	if t.cfg.PollTelemetry && cur.Healthy {
+		tel, telErr := t.probeTelemetry(ctx, ns.node.URL)
+		ns.mu.Lock()
+		switch {
+		case telErr != nil:
+			ns.telemErr = telErr.Error()
+		case tel.Version != obs.TelemetryVersion:
+			ns.telemErr = fmt.Sprintf("unsupported telemetry version %d", tel.Version)
+		default:
+			ns.telem, ns.telemAt, ns.telemErr = tel, time.Now(), ""
+		}
+		ns.mu.Unlock()
+	}
 
 	if cur.Healthy != prev.Healthy || cur.Role != prev.Role || cur.Ready != prev.Ready {
 		t.cfg.Logger.Info("node state",

@@ -191,6 +191,56 @@ func (s HistSnapshot) Mean() time.Duration {
 // empty means an unlabeled series. The caller writes the family's
 // # HELP/# TYPE header once.
 func (s HistSnapshot) WritePrometheus(w io.Writer, name, labels string) {
+	s.writePrometheus(w, name, labels, 1)
+}
+
+// valueUnit maps one dimensionless unit recorded via ObserveValue onto the
+// histogram's tick domain: value 1.0 occupies 1ms, so the log-linear layout
+// resolves values from ~1e-4 up to ~6.9e4 (a q-error of tens of thousands)
+// with the same ≤25% relative bucket width it gives latencies, before the
+// overflow bucket.
+const valueUnit = float64(time.Millisecond)
+
+// valueScale converts a bucket bound in seconds back into value units.
+const valueScale = 1e9 / valueUnit
+
+// ObserveValue records one non-negative dimensionless value (a realized
+// q-error) by mapping it onto the duration domain (1.0 ↔ 1ms). NaN and
+// negative values are ignored; values past the mappable range land in the
+// overflow bucket.
+func (h *Histogram) ObserveValue(v float64) {
+	if h == nil || math.IsNaN(v) || v < 0 {
+		return
+	}
+	d := v * valueUnit
+	if d > float64(math.MaxInt64) {
+		d = float64(math.MaxInt64)
+	}
+	h.Observe(time.Duration(d))
+}
+
+// ValueQuantile reads a quantile of a value histogram (one recorded through
+// ObserveValue) back in value units.
+func (s HistSnapshot) ValueQuantile(q float64) float64 {
+	return float64(s.Quantile(q)) / valueUnit
+}
+
+// ValueMean returns the average recorded value (0 when empty).
+func (s HistSnapshot) ValueMean() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Sum) / valueUnit / float64(s.Total)
+}
+
+// WritePrometheusValue renders a value histogram (recorded through
+// ObserveValue) with le bounds and _sum scaled out of the duration domain,
+// so the exposition reads in true dimensionless units.
+func (s HistSnapshot) WritePrometheusValue(w io.Writer, name, labels string) {
+	s.writePrometheus(w, name, labels, valueScale)
+}
+
+func (s HistSnapshot) writePrometheus(w io.Writer, name, labels string, scale float64) {
 	sep := ""
 	if labels != "" {
 		sep = ","
@@ -200,13 +250,14 @@ func (s HistSnapshot) WritePrometheus(w io.Writer, name, labels string) {
 		cum += c
 		le := "+Inf"
 		if !math.IsInf(bucketBounds[i], 1) {
-			le = strconv.FormatFloat(bucketBounds[i], 'g', -1, 64)
+			le = strconv.FormatFloat(bucketBounds[i]*scale, 'g', -1, 64)
 		}
 		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, le, cum)
 	}
+	sum := s.Sum.Seconds() * scale
 	if labels == "" {
-		fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, s.Sum.Seconds(), name, s.Total)
+		fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, sum, name, s.Total)
 		return
 	}
-	fmt.Fprintf(w, "%s_sum{%s} %g\n%s_count{%s} %d\n", name, labels, s.Sum.Seconds(), name, labels, s.Total)
+	fmt.Fprintf(w, "%s_sum{%s} %g\n%s_count{%s} %d\n", name, labels, sum, name, labels, s.Total)
 }

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"time"
+)
+
+// Process-level gauges shared by both binaries' /metrics handlers: build
+// identity (stamped via -ldflags at release time) and the runtime vitals
+// that explain a latency regression before any application metric does —
+// goroutine count, heap size, GC pause tail, uptime.
+
+// Version and GitSHA identify the build; overridden at link time with
+//
+//	-ldflags "-X quicksel/internal/obs.Version=v1.2.3 -X quicksel/internal/obs.GitSHA=abc1234"
+var (
+	Version = "dev"
+	GitSHA  = "unknown"
+)
+
+var processStart = time.Now()
+
+// gcPauseMetric is the runtime/metrics GC pause histogram available in this
+// Go version ("" when none is, in which case the gauge reads 0).
+var gcPauseMetric = func() string {
+	for _, want := range []string{"/sched/pauses/total/gc:seconds", "/gc/pauses:seconds"} {
+		for _, d := range metrics.All() {
+			if d.Name == want && d.Kind == metrics.KindFloat64Histogram {
+				return want
+			}
+		}
+	}
+	return ""
+}()
+
+// WriteRuntimeMetrics appends the build_info gauge and runtime gauges to a
+// Prometheus exposition, prefixed with the binary's metric namespace
+// ("quickseld" or "quickselrouter").
+func WriteRuntimeMetrics(w io.Writer, prefix string) {
+	fmt.Fprintf(w, "# HELP %s_build_info Build identity; value is always 1.\n# TYPE %s_build_info gauge\n", prefix, prefix)
+	fmt.Fprintf(w, "%s_build_info{version=%q,go_version=%q,git_sha=%q} 1\n",
+		prefix, labelEscaper.Replace(Version), labelEscaper.Replace(runtime.Version()), labelEscaper.Replace(GitSHA))
+
+	fmt.Fprintf(w, "# HELP %s_goroutines Current number of goroutines.\n# TYPE %s_goroutines gauge\n", prefix, prefix)
+	fmt.Fprintf(w, "%s_goroutines %d\n", prefix, runtime.NumGoroutine())
+
+	samples := []metrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
+	if gcPauseMetric != "" {
+		samples = append(samples, metrics.Sample{Name: gcPauseMetric})
+	}
+	metrics.Read(samples)
+
+	fmt.Fprintf(w, "# HELP %s_heap_bytes Bytes of live heap objects.\n# TYPE %s_heap_bytes gauge\n", prefix, prefix)
+	heap := uint64(0)
+	if samples[0].Value.Kind() == metrics.KindUint64 {
+		heap = samples[0].Value.Uint64()
+	}
+	fmt.Fprintf(w, "%s_heap_bytes %d\n", prefix, heap)
+
+	fmt.Fprintf(w, "# HELP %s_gc_pause_p99_seconds p99 stop-the-world GC pause over the process lifetime.\n# TYPE %s_gc_pause_p99_seconds gauge\n", prefix, prefix)
+	pause := 0.0
+	if gcPauseMetric != "" && samples[1].Value.Kind() == metrics.KindFloat64Histogram {
+		pause = histQuantile(samples[1].Value.Float64Histogram(), 0.99)
+	}
+	fmt.Fprintf(w, "%s_gc_pause_p99_seconds %s\n", prefix, formatMetricValue(pause))
+
+	fmt.Fprintf(w, "# HELP %s_uptime_seconds Seconds since process start.\n# TYPE %s_uptime_seconds gauge\n", prefix, prefix)
+	fmt.Fprintf(w, "%s_uptime_seconds %s\n", prefix, formatMetricValue(time.Since(processStart).Seconds()))
+}
+
+// histQuantile reads a quantile off a runtime/metrics Float64Histogram
+// (cumulative-count buckets with possibly infinite edge boundaries).
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range h.Counts {
+		cum += float64(c)
+		if cum >= rank {
+			// Bucket i spans (Buckets[i], Buckets[i+1]]; clamp infinite
+			// edges to the nearest finite boundary.
+			lo, hi := h.Buckets[i], h.Buckets[i+1]
+			if math.IsInf(lo, -1) {
+				lo = 0
+			}
+			if math.IsInf(hi, 1) {
+				return lo
+			}
+			return hi
+		}
+	}
+	return 0
+}

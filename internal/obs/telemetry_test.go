@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMergeOfSnapshotsEqualsSnapshotOfMerged is the federation correctness
+// property: merging per-node snapshots must equal a snapshot of a single
+// histogram that saw every observation, even when observers run concurrently.
+func TestMergeOfSnapshotsEqualsSnapshotOfMerged(t *testing.T) {
+	const nodes = 4
+	const perNode = 5000
+	var combined Histogram
+	parts := make([]Histogram, nodes)
+
+	var wg sync.WaitGroup
+	for n := 0; n < nodes; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(n) + 1))
+			for i := 0; i < perNode; i++ {
+				d := time.Duration(rng.Int63n(int64(10 * time.Second)))
+				parts[n].Observe(d)
+				combined.Observe(d)
+			}
+		}(n)
+	}
+	wg.Wait()
+
+	merged := parts[0].Snapshot()
+	for n := 1; n < nodes; n++ {
+		snap := parts[n].Snapshot()
+		merged.Merge(snap)
+	}
+	want := combined.Snapshot()
+	if merged.Total != want.Total {
+		t.Fatalf("merged total = %d, want %d", merged.Total, want.Total)
+	}
+	if merged.Sum != want.Sum {
+		t.Fatalf("merged sum = %s, want %s", merged.Sum, want.Sum)
+	}
+	if merged.Counts != want.Counts {
+		t.Fatalf("merged bucket counts diverge from single-histogram counts")
+	}
+}
+
+// TestHistSeriesRoundTrip checks the wire form (trimmed, non-cumulative
+// counts) reconstructs the exact snapshot, including through JSON.
+func TestHistSeriesRoundTrip(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{time.Microsecond, time.Millisecond, 5 * time.Millisecond, time.Second} {
+		h.Observe(d)
+	}
+	snap := h.Snapshot()
+	hs := HistSeriesFrom(map[string]string{"estimator": "e1"}, snap)
+
+	if len(hs.Counts) >= NumBuckets {
+		t.Fatalf("wire counts not trimmed: len=%d", len(hs.Counts))
+	}
+	raw, err := json.Marshal(hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HistSeries
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := back.Snapshot()
+	if !ok {
+		t.Fatal("round-tripped HistSeries rejected by Snapshot")
+	}
+	if got != snap {
+		t.Fatalf("round trip diverged: got total=%d sum=%s, want total=%d sum=%s",
+			got.Total, got.Sum, snap.Total, snap.Sum)
+	}
+}
+
+func TestHistSeriesSnapshotRejectsOversizedCounts(t *testing.T) {
+	hs := HistSeries{Counts: make([]uint64, NumBuckets+1)}
+	if _, ok := hs.Snapshot(); ok {
+		t.Fatal("Snapshot accepted a bucket list longer than NumBuckets")
+	}
+}
+
+// TestTelemetryWritePrometheus renders a mixed telemetry snapshot and runs
+// it through the repo's own exposition validator.
+func TestTelemetryWritePrometheus(t *testing.T) {
+	var lat, qerr Histogram
+	lat.Observe(3 * time.Millisecond)
+	lat.Observe(40 * time.Millisecond)
+	qerr.ObserveValue(1.0)
+	qerr.ObserveValue(12.5)
+
+	tel := Telemetry{
+		Version: TelemetryVersion,
+		Node:    "n1",
+		Role:    "primary",
+		Families: []Family{
+			{
+				Name: "quickseld_requests_total", Help: "Requests.", Type: "counter",
+				Series: []NumSeries{
+					{Labels: map[string]string{"route": "observe"}, Value: 10},
+					{Labels: map[string]string{"route": "estimate"}, Value: 7},
+				},
+			},
+			{
+				Name: "quickseld_ready", Help: "Readiness.", Type: "gauge",
+				Series: []NumSeries{{Value: 1}},
+			},
+			{
+				Name: "quickseld_request_seconds", Help: "Latency.", Type: "histogram",
+				Hist: []HistSeries{HistSeriesFrom(map[string]string{"estimator": "e1"}, lat.Snapshot())},
+			},
+			{
+				Name: "quickseld_qerror", Help: "Q-error.", Type: "histogram", Unit: "value",
+				Hist: []HistSeries{HistSeriesFrom(map[string]string{"estimator": "e1"}, qerr.Snapshot())},
+			},
+		},
+	}
+	var b strings.Builder
+	tel.WritePrometheus(&b)
+	out := b.String()
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		`quickseld_requests_total{route="observe"} 10`,
+		`quickseld_qerror_bucket{estimator="e1",le="+Inf"} 2`,
+		`quickseld_request_seconds_count{estimator="e1"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTelemetryJSONRoundTrip: what a router decodes must render the same
+// exposition as what the node rendered.
+func TestTelemetryJSONRoundTrip(t *testing.T) {
+	var h Histogram
+	h.Observe(2 * time.Millisecond)
+	tel := Telemetry{
+		Version: TelemetryVersion, Node: "n1", Role: "primary", UptimeSeconds: 12.5,
+		Families: []Family{
+			{Name: "quickseld_x_total", Help: "X.", Type: "counter", Series: []NumSeries{{Value: 3}}},
+			{Name: "quickseld_x_seconds", Help: "Y.", Type: "histogram", Hist: []HistSeries{HistSeriesFrom(nil, h.Snapshot())}},
+		},
+	}
+	raw, err := json.Marshal(&tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Telemetry
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	var a, b strings.Builder
+	tel.WritePrometheus(&a)
+	back.WritePrometheus(&b)
+	if a.String() != b.String() {
+		t.Fatalf("round-tripped telemetry renders differently:\n--- sent\n%s\n--- decoded\n%s", a.String(), b.String())
+	}
+}
+
+func TestLabelStringEscapingAndOrder(t *testing.T) {
+	got := LabelString(map[string]string{"b": `q"v`, "a": "x\ny", "c": `\`})
+	want := `a="x\ny",b="q\"v",c="\\"`
+	if got != want {
+		t.Fatalf("LabelString = %q, want %q", got, want)
+	}
+	if LabelString(nil) != "" {
+		t.Fatalf("LabelString(nil) = %q, want empty", LabelString(nil))
+	}
+}
+
+func TestFormatMetricValue(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		42:      "42",
+		-3:      "-3",
+		1.5:     "1.5",
+		1e15:    "1e+15",
+		2.25e-3: "0.00225",
+	}
+	for in, want := range cases {
+		if got := formatMetricValue(in); got != want {
+			t.Errorf("formatMetricValue(%g) = %q, want %q", in, got, want)
+		}
+	}
+}

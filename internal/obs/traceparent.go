@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+)
+
+// Cross-process trace context. The router opens the root span and forwards
+// its request ID, span ID, and sampling decision on X-Quickseld-Traceparent;
+// the shard continues the trace under the same request ID and, when sampled,
+// echoes its completed span back compactly (JSON) on an X-Quickseld-Trace
+// response trailer so the router can attach it as a child and record one
+// stitched tree. The format is deliberately not W3C traceparent — quicksel
+// request IDs are human-pasteable strings, not 16-byte hex — but it carries
+// the same three facts: trace ID, parent span ID, sampled flag.
+
+const (
+	// HeaderTraceParent carries inbound trace context on a request:
+	// "qs1;<request-id>;<parent-span-id>;s|n". Semicolon-separated because
+	// request and span IDs contain '-' and '.'.
+	HeaderTraceParent = "X-Quickseld-Traceparent"
+
+	// HeaderTrace echoes a completed child trace back to the caller as
+	// compact JSON, set as an HTTP trailer (the span only completes after
+	// the response body is written).
+	HeaderTrace = "X-Quickseld-Trace"
+
+	// traceParentVersion tags the format; unrecognized versions are ignored
+	// so the wire can evolve.
+	traceParentVersion = "qs1"
+)
+
+// MaxTraceHeaderLen bounds the X-Quickseld-Trace echo; a trace that cannot
+// be encoded under it even with stages dropped is not echoed at all.
+const MaxTraceHeaderLen = 4096
+
+// FormatTraceParent renders the outbound trace-context header value.
+// parentSpanID may be empty (an unsampled request still propagates its ID so
+// logs correlate even when no span is recorded).
+func FormatTraceParent(requestID, parentSpanID string, sampled bool) string {
+	flag := "n"
+	if sampled {
+		flag = "s"
+	}
+	return traceParentVersion + ";" + requestID + ";" + parentSpanID + ";" + flag
+}
+
+// ParseTraceParent decodes a traceparent header value. ok is false when the
+// value is absent, malformed, from an unknown version, or carries an
+// unusable request ID — callers fall back to local ID minting and sampling.
+func ParseTraceParent(v string) (requestID, parentSpanID string, sampled, ok bool) {
+	parts := strings.Split(v, ";")
+	if len(parts) != 4 || parts[0] != traceParentVersion {
+		return "", "", false, false
+	}
+	if !validRequestID(parts[1]) {
+		return "", "", false, false
+	}
+	if parts[3] != "s" && parts[3] != "n" {
+		return "", "", false, false
+	}
+	return parts[1], parts[2], parts[3] == "s", true
+}
+
+// EncodeTraceHeader renders a completed trace for the response echo. When
+// the full encoding exceeds MaxTraceHeaderLen it retries with stages
+// stripped (the parent still learns the hop's total and status); ok is false
+// when even that does not fit or encoding fails.
+func EncodeTraceHeader(t Trace) (string, bool) {
+	t.Children = nil // children of a child are never echoed further up
+	b, err := json.Marshal(t)
+	if err == nil && len(b) <= MaxTraceHeaderLen {
+		return string(b), true
+	}
+	t.Stages = nil
+	b, err = json.Marshal(t)
+	if err != nil || len(b) > MaxTraceHeaderLen {
+		return "", false
+	}
+	return string(b), true
+}
+
+// DecodeTraceHeader parses an X-Quickseld-Trace echo back into a Trace; ok
+// is false on malformed JSON or a trace with no request ID.
+func DecodeTraceHeader(v string) (Trace, bool) {
+	if v == "" || len(v) > MaxTraceHeaderLen {
+		return Trace{}, false
+	}
+	var t Trace
+	if err := json.Unmarshal([]byte(v), &t); err != nil || t.ID == "" {
+		return Trace{}, false
+	}
+	return t, true
+}

@@ -27,6 +27,7 @@ type Server struct {
 	reqEstimate      atomic.Uint64
 	reqEstimateBatch atomic.Uint64
 	reqList          atomic.Uint64
+	reqTelemetry     atomic.Uint64
 	reqTrain         atomic.Uint64
 	reqDrop          atomic.Uint64
 	reqSnapshot      atomic.Uint64
@@ -75,6 +76,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/replication/snapshot", s.handleReplicationSnapshot)
 	s.mux.HandleFunc("POST /v1/replication/promote", s.handlePromote)
 	s.mux.HandleFunc("GET /v1/replication/status", s.handleReplicationStatus)
+	s.mux.HandleFunc("GET /v1/telemetry", s.handleTelemetry)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -119,10 +121,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Body != nil {
 		r.Body = http.MaxBytesReader(w, r.Body, MaxRequestBytes)
 	}
-	if strings.HasPrefix(r.URL.Path, "/v1/replication/") {
-		// Replication traffic is operational (the WAL fetch long-polls at
-		// high frequency) and allowed on any role: served untraced so it
-		// does not wash client traffic out of the debug ring.
+	if strings.HasPrefix(r.URL.Path, "/v1/replication/") || r.URL.Path == "/v1/telemetry" {
+		// Replication traffic (the WAL fetch long-polls at high frequency)
+		// and the router's telemetry poll are operational and allowed on
+		// any role: served untraced so they do not wash client traffic out
+		// of the debug ring.
 		s.mux.ServeHTTP(w, r)
 		return
 	}
@@ -140,11 +143,35 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			errorBody{Error: "this node is a read-only follower; send writes to the primary"})
 		return
 	}
-	// Reuse a propagated request ID (quickselrouter forwards its own) so
-	// one user request correlates across the router's and this shard's
-	// /debug/requests rings; a missing or malformed header mints fresh.
-	sp := obs.StartSpanWithID("http", r.Method+" "+r.URL.Path, r.Header.Get("X-Request-Id"))
-	w.Header().Set("X-Request-Id", sp.ID())
+	// Trace context. An inbound traceparent (quickselrouter's root span)
+	// carries the request ID, the router span to parent under, and the
+	// cluster-wide sampling decision, which this node obeys so a request is
+	// traced on every hop or none. Without one, reuse a propagated
+	// X-Request-Id (or mint fresh) and apply the local sampling rate.
+	// Sampled-out requests still carry the ID — logs correlate either way —
+	// but record no span and never reach the debug ring.
+	var id, parentID string
+	var sampled, fromUpstream bool
+	if tid, pid, smp, ok := obs.ParseTraceParent(r.Header.Get(obs.HeaderTraceParent)); ok {
+		id, parentID, sampled, fromUpstream = tid, pid, smp, true
+	} else {
+		id = obs.AdoptID(r.Header.Get("X-Request-Id"))
+		sampled = obs.SampleRequestID(id, s.reg.cfg.TraceSample)
+	}
+	w.Header().Set("X-Request-Id", id)
+	if !sampled {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	sp := obs.StartSpanWithID("http", r.Method+" "+r.URL.Path, id)
+	sp.SetParent(parentID)
+	sp.SetNode(s.reg.cfg.NodeID)
+	if fromUpstream {
+		// Announce the child-trace echo before the handler writes: the span
+		// only completes after the body, so it travels as an HTTP trailer
+		// (responses are chunked — writeJSON never sets Content-Length).
+		w.Header().Add("Trailer", obs.HeaderTrace)
+	}
 	sw := &statusWriter{ResponseWriter: w}
 	s.mux.ServeHTTP(sw, r.WithContext(obs.WithSpan(r.Context(), sp)))
 	code := sw.code
@@ -152,7 +179,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusOK
 	}
 	sp.SetStatus(code)
-	s.reg.ring.Record(sp.End())
+	tr := sp.End()
+	if fromUpstream {
+		if v, ok := obs.EncodeTraceHeader(tr); ok {
+			w.Header().Set(obs.HeaderTrace, v)
+		}
+	}
+	s.reg.ring.Record(tr)
 }
 
 // statusWriter captures the response status for the request trace.

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"fmt"
 	"net/http"
 	"strings"
 
@@ -22,217 +21,15 @@ func clampSub(a, b uint64) uint64 {
 // handleMetrics renders the daemon's operational state in the Prometheus
 // text exposition format (hand-rolled; the format is three trivial line
 // shapes and pulling in a client library for it would be the only external
-// dependency in the repository).
+// dependency in the repository). The families come from the same collect()
+// snapshot GET /v1/telemetry serves as JSON, plus the process-level build
+// and runtime gauges that are meaningless to federate.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.reqMetrics.Add(1)
 	var b strings.Builder
-
-	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	counter("quickseld_requests_create_total", "POST /v1/estimators requests served.", s.reqCreate.Load())
-	counter("quickseld_requests_observe_total", "Observe requests served.", s.reqObserve.Load())
-	counter("quickseld_requests_estimate_total", "Estimate requests served.", s.reqEstimate.Load())
-	counter("quickseld_requests_estimate_batch_total", "Batch estimate requests served.", s.reqEstimateBatch.Load())
-	counter("quickseld_requests_train_total", "Explicit train requests served.", s.reqTrain.Load())
-	counter("quickseld_requests_list_total", "List requests served.", s.reqList.Load())
-	counter("quickseld_requests_drop_total", "Drop requests served.", s.reqDrop.Load())
-	counter("quickseld_requests_snapshot_total", "Explicit snapshot requests served.", s.reqSnapshot.Load())
-	counter("quickseld_requests_versions_total", "Version-listing requests served.", s.reqVersions.Load())
-	counter("quickseld_requests_rollback_total", "Rollback requests served.", s.reqRollback.Load())
-	counter("quickseld_requests_accuracy_total", "Accuracy requests served.", s.reqAccuracy.Load())
-	counter("quickseld_requests_metrics_total", "Metrics scrapes served.", s.reqMetrics.Load())
-	counter("quickseld_requests_replication_wal_total", "WAL fetches served to followers.", s.reqReplWAL.Load())
-	counter("quickseld_requests_replication_snapshot_total", "Snapshot bootstraps served to followers.", s.reqReplSnapshot.Load())
-	counter("quickseld_requests_replication_promote_total", "Promotion requests served.", s.reqReplPromote.Load())
-	counter("quickseld_requests_replication_status_total", "Replication status requests served.", s.reqReplStatus.Load())
-	counter("quickseld_requests_role_rejected_total", "Write requests refused because this node is a read-only follower.", s.reqRoleRejected.Load())
-	counter("quickseld_request_errors_total", "Requests answered with a non-2xx status.", s.reqErrors.Load())
-	counter("quickseld_snapshots_saved_total", "Registry snapshots persisted.", s.reg.snapshotsSaved.Load())
-	counter("quickseld_snapshot_errors_total", "Registry snapshot writes that failed.", s.reg.snapshotErrs.Load())
-
-	gauge := func(name, help string, v uint64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
-	}
-	// Write-ahead log series: append/fsync/replay/compaction counters and
-	// the log-lag gauges that tell an operator how much history a crash
-	// (sync lag) or the next recovery (snapshot lag) would have to chew on.
-	if s.reg.wal != nil {
-		ws := s.reg.wal.Stats()
-		counter("quickseld_wal_appends_total", "Records appended to the write-ahead log.", ws.Appended)
-		counter("quickseld_wal_flushes_total", "Group-commit write batches (appends/flushes is the commit fan-in).", ws.Flushes)
-		counter("quickseld_wal_fsyncs_total", "fsync calls on log segments.", ws.Fsyncs)
-		counter("quickseld_wal_rotations_total", "Log segment rotations.", ws.Rotations)
-		counter("quickseld_wal_compacted_segments_total", "Log segments deleted by snapshot-driven compaction.", ws.CompactedSegments)
-		counter("quickseld_wal_append_errors_total", "Appends that failed the durability wait.", s.reg.walAppendErrs.Load())
-		counter("quickseld_wal_replayed_records_total", "Records replayed into the registry at startup.", s.reg.walReplayed.Load())
-		counter("quickseld_wal_replay_skipped_total", "Undecodable records skipped during replay.", s.reg.walReplaySkipped.Load())
-		counter("quickseld_wal_truncated_bytes_total", "Torn-tail bytes truncated at open.", ws.TruncatedBytes)
-		gauge("quickseld_wal_segments", "Retained log segment files.", uint64(ws.Segments))
-		gauge("quickseld_wal_size_bytes", "Retained log bytes on disk.", uint64(ws.SizeBytes))
-		gauge("quickseld_wal_last_seq", "Highest assigned log sequence number.", ws.LastSeq)
-		gauge("quickseld_wal_durable_seq", "Highest acknowledged-durable sequence number.", ws.DurableSeq)
-		gauge("quickseld_wal_sync_lag", "Acknowledged records not yet fsynced (lost only with the machine, not the process).", clampSub(ws.LastSeq, ws.SyncedSeq))
-		gauge("quickseld_wal_snapshot_lag", "Records the last snapshot does not cover (the replay cost of a crash right now).", clampSub(ws.LastSeq, s.reg.walLastCovered.Load()))
-	}
-
-	// Replication series. quickseld_primary identifies the role; the
-	// primary exports its follower table summary and semi-sync counters,
-	// a follower its fetch-loop state — most importantly
-	// quickseld_replication_lag, the records it is behind the primary's
-	// durable tail (also gating /readyz).
-	primary := uint64(0)
-	if s.reg.IsPrimary() {
-		primary = 1
-	}
-	gauge("quickseld_primary", "1 on the primary, 0 on a read-only follower.", primary)
-	if s.reg.IsPrimary() {
-		live := uint64(0)
-		for _, f := range s.reg.Followers() {
-			if f.Live {
-				live++
-			}
-		}
-		gauge("quickseld_replication_followers", "Followers that fetched within the retention window.", live)
-		counter("quickseld_replication_ack_waits_total", "Writes that waited for a follower ack (semi-sync mode).", s.reg.ackWaits.Load())
-		counter("quickseld_replication_ack_timeouts_total", "Semi-sync ack waits that timed out and degraded to a local ack.", s.reg.ackTimeouts.Load())
-	} else if st := s.reg.replicationStatus(); st != nil {
-		gauge("quickseld_replication_lag", "Records this follower is behind the primary's durable tail.", st.Lag)
-		caught := uint64(0)
-		if st.CaughtUp {
-			caught = 1
-		}
-		gauge("quickseld_replication_caught_up", "Whether the follower has reached the primary's tail at least once.", caught)
-		healthy := uint64(0)
-		if st.Healthy {
-			healthy = 1
-		}
-		gauge("quickseld_replication_healthy", "Whether the fetch loop completed a round recently.", healthy)
-		counter("quickseld_replication_fetches_total", "WAL fetch rounds attempted.", st.Fetches)
-		counter("quickseld_replication_fetch_errors_total", "Fetch rounds that failed (transport, 5xx, unusable body).", st.FetchErrors)
-		counter("quickseld_replication_torn_responses_total", "Responses with a torn or corrupt tail (verified prefix kept).", st.TornResponses)
-		counter("quickseld_replication_gap_responses_total", "410 responses (suffix compacted away; snapshot re-bootstrap).", st.GapResponses)
-		counter("quickseld_replication_records_total", "Records fetched and handed to the registry.", st.Records)
-		counter("quickseld_replication_applied_total", "Fetched records applied to registry state.", s.reg.replApplied.Load())
-		counter("quickseld_replication_bytes_total", "Replication response bytes fetched.", st.Bytes)
-	}
-
-	infos := s.reg.List()
-	fmt.Fprintf(&b, "# HELP quickseld_estimators Registered estimators.\n# TYPE quickseld_estimators gauge\nquickseld_estimators %d\n", len(infos))
-
-	// Per-method registry population: how many estimators each estimation
-	// backend (quicksel, sthole, ...) is serving. Methods are emitted in
-	// first-seen order of the name-sorted infos, which is deterministic.
-	fmt.Fprintf(&b, "# HELP quickseld_estimators_by_method Registered estimators per estimation method.\n# TYPE quickseld_estimators_by_method gauge\n")
-	byMethod := map[string]int{}
-	var methodOrder []string
-	for _, in := range infos {
-		if byMethod[in.Method] == 0 {
-			methodOrder = append(methodOrder, in.Method)
-		}
-		byMethod[in.Method]++
-	}
-	for _, m := range methodOrder {
-		fmt.Fprintf(&b, "quickseld_estimators_by_method{method=%q} %d\n", m, byMethod[m])
-	}
-
-	// Every per-estimator series carries the estimator's method as a label,
-	// so dashboards can aggregate and compare backends directly.
-	perEst := func(name, help, typ string, value func(EstimatorInfo) string) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
-		for _, in := range infos {
-			fmt.Fprintf(&b, "%s{estimator=%q,method=%q} %s\n", name, in.Name, in.Method, value(in))
-		}
-	}
-	perEst("quickseld_observations_total", "Observations accepted into the pending buffer.", "counter",
-		func(in EstimatorInfo) string { return fmt.Sprintf("%d", in.Observed) })
-	perEst("quickseld_observations_dropped_total", "Observations dropped on a full buffer.", "counter",
-		func(in EstimatorInfo) string { return fmt.Sprintf("%d", in.Dropped) })
-	perEst("quickseld_estimates_total", "Estimates served.", "counter",
-		func(in EstimatorInfo) string { return fmt.Sprintf("%d", in.Estimates) })
-	perEst("quickseld_train_runs_total", "Background training runs completed.", "counter",
-		func(in EstimatorInfo) string { return fmt.Sprintf("%d", in.TrainRuns) })
-	// Per-mode training runs: full refits vs warm-start incremental re-solves
-	// (QuickSel with WithWarmStart; every other method only ever trains full).
-	fmt.Fprintf(&b, "# HELP quickseld_train_runs_by_mode_total Background training runs completed, by training mode.\n# TYPE quickseld_train_runs_by_mode_total counter\n")
-	for _, in := range infos {
-		fmt.Fprintf(&b, "quickseld_train_runs_by_mode_total{estimator=%q,method=%q,train_mode=\"full\"} %d\n", in.Name, in.Method, in.TrainRunsFull)
-		fmt.Fprintf(&b, "quickseld_train_runs_by_mode_total{estimator=%q,method=%q,train_mode=\"incremental\"} %d\n", in.Name, in.Method, in.TrainRunsIncr)
-	}
-	perEst("quickseld_train_errors_total", "Training runs that failed (batch requeued).", "counter",
-		func(in EstimatorInfo) string { return fmt.Sprintf("%d", in.TrainErrors) })
-	perEst("quickseld_observation_backlog", "Observations queued awaiting training.", "gauge",
-		func(in EstimatorInfo) string { return fmt.Sprintf("%d", in.Backlog) })
-	perEst("quickseld_last_train_seconds", "Duration of the last training run.", "gauge",
-		func(in EstimatorInfo) string { return fmt.Sprintf("%g", in.LastTrainSecs) })
-	perEst("quickseld_model_params", "Model parameters in the serving model (subpopulation weights, bucket frequencies, sampled coordinates, or grid cells, depending on the method).", "gauge",
-		func(in EstimatorInfo) string { return fmt.Sprintf("%d", in.Params) })
-
-	// Lifecycle series: drift detection, champion/challenger promotion, and
-	// version bookkeeping, all labeled by estimator and method.
-	perEst("quickseld_drift_events_total", "Drift alarms raised by the Page-Hinkley detector over realized estimate error.", "counter",
-		func(in EstimatorInfo) string { return fmt.Sprintf("%d", in.DriftEvents) })
-	perEst("quickseld_promotions_total", "Trained models promoted into the serving slot.", "counter",
-		func(in EstimatorInfo) string { return fmt.Sprintf("%d", in.Promotions) })
-	perEst("quickseld_promotions_rejected_total", "Trained challengers the shadow gate turned down (archived, never served).", "counter",
-		func(in EstimatorInfo) string { return fmt.Sprintf("%d", in.Rejections) })
-	perEst("quickseld_rollbacks_total", "Explicit version rollbacks served.", "counter",
-		func(in EstimatorInfo) string { return fmt.Sprintf("%d", in.Rollbacks) })
-	perEst("quickseld_model_version", "Immutable version number of the serving model.", "gauge",
-		func(in EstimatorInfo) string { return fmt.Sprintf("%d", in.Version) })
-	perEst("quickseld_window_mae", "Mean absolute error over the rolling realized-accuracy window.", "gauge",
-		func(in EstimatorInfo) string { return fmt.Sprintf("%g", in.WindowMAE) })
-	perEst("quickseld_window_mean_qerror", "Mean q-error over the rolling realized-accuracy window.", "gauge",
-		func(in EstimatorInfo) string { return fmt.Sprintf("%g", in.WindowQErr) })
-
-	// Latency histogram families, exported in full (the log-linear buckets
-	// behind the percentile summaries in EstimatorInfo). Per-estimator
-	// families label every series with estimator+method; an empty family is
-	// a bare header, which is valid exposition.
-	states := s.reg.states()
-	labels := make([]string, len(states))
-	for i, st := range states {
-		st.mu.Lock()
-		method := st.serving.Method()
-		st.mu.Unlock()
-		labels[i] = fmt.Sprintf("estimator=%q,method=%q", st.name, method)
-	}
-	perEstHist := func(name, help string, snap func(*estimatorState) obs.HistSnapshot) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
-		for i, st := range states {
-			snap(st).WritePrometheus(&b, name, labels[i])
-		}
-	}
-	perEstHist("quickseld_observe_duration_seconds", "Observe ingest latency, decode to durable ack.",
-		func(st *estimatorState) obs.HistSnapshot { return st.observeHist.Snapshot() })
-	perEstHist("quickseld_estimate_duration_seconds", "Single-estimate latency.",
-		func(st *estimatorState) obs.HistSnapshot { return st.estimateHist.Snapshot() })
-	perEstHist("quickseld_estimate_batch_duration_seconds", "Batch-estimate latency, whole batch.",
-		func(st *estimatorState) obs.HistSnapshot { return st.batchHist.Snapshot() })
-	// Training latency carries a train_mode label: full refits and failed
-	// runs land in the "full" series, warm-start incremental re-solves in
-	// "incremental", so dashboards can see the speedup directly.
-	fmt.Fprintf(&b, "# HELP quickseld_train_duration_seconds Background training run latency, flush to swap, by training mode.\n# TYPE quickseld_train_duration_seconds histogram\n")
-	for i, st := range states {
-		st.trainHist.Snapshot().WritePrometheus(&b, "quickseld_train_duration_seconds", labels[i]+`,train_mode="full"`)
-		st.trainIncrHist.Snapshot().WritePrometheus(&b, "quickseld_train_duration_seconds", labels[i]+`,train_mode="incremental"`)
-	}
-
-	hist := func(name, help string, snap obs.HistSnapshot) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
-		snap.WritePrometheus(&b, name, "")
-	}
-	hist("quickseld_snapshot_duration_seconds", "Registry snapshot serialize-and-rename latency.", s.reg.snapshotHist.Snapshot())
-	if s.reg.wal != nil {
-		hist("quickseld_wal_append_duration_seconds", "Group-commit segment write latency.", s.reg.walAppendHist.Snapshot())
-		hist("quickseld_wal_fsync_duration_seconds", "Segment fsync latency.", s.reg.walFsyncHist.Snapshot())
-	}
-
-	ready := uint64(0)
-	if s.reg.Readiness().Ready {
-		ready = 1
-	}
-	gauge("quickseld_ready", "Whether the daemon is ready to serve (snapshot restored, WAL replayed, trainer running).", ready)
+	t := s.collect()
+	t.WritePrometheus(&b)
+	obs.WriteRuntimeMetrics(&b, "quickseld")
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)

@@ -47,6 +47,9 @@ const (
 	// DefaultTraceRingSize is the completed-trace ring capacity behind
 	// GET /debug/requests.
 	DefaultTraceRingSize = 256
+	// DefaultTraceSample traces every request; lower it at high QPS to
+	// bound tracing overhead (see Config.TraceSample).
+	DefaultTraceSample = 1.0
 	// DefaultSlowRequest is the slow-request log threshold: completed
 	// traces at least this slow are logged at Warn.
 	DefaultSlowRequest = 500 * time.Millisecond
@@ -142,6 +145,11 @@ type Config struct {
 	// train traces at least this slow are logged with their stage
 	// breakdown. 0 selects DefaultSlowRequest; negative disables the log.
 	SlowRequest time.Duration
+	// TraceSample is the fraction of requests traced (deterministic by
+	// request-id hash, so a cluster agrees per request). 0 selects
+	// DefaultTraceSample (trace everything); negative disables tracing.
+	// Sampled-out requests still carry an X-Request-Id.
+	TraceSample float64
 	// Pprof mounts the net/http/pprof profiling handlers under
 	// /debug/pprof/. Off by default: profiles expose call stacks and heap
 	// contents, so the daemon serves them only when asked to.
@@ -160,6 +168,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SlowRequest == 0 {
 		c.SlowRequest = DefaultSlowRequest
+	}
+	if c.TraceSample == 0 {
+		c.TraceSample = DefaultTraceSample
 	}
 	if c.ReplicationAckTimeout <= 0 {
 		c.ReplicationAckTimeout = DefaultReplicationAckTimeout
@@ -235,13 +246,21 @@ type estimatorState struct {
 	batchHist     obs.Histogram // EstimateBatch, whole batch
 	trainHist     obs.Histogram // flushAndTrain full-mode runs (and failed runs)
 	trainIncrHist obs.Histogram // flushAndTrain incremental (warm-start) runs
+
+	// qerrorHist records the realized q-error of every prequential sample
+	// (the serving model's estimate vs the observed selectivity) via
+	// ObserveValue — the full distribution behind the tracker's window
+	// mean, exported per estimator and federated cluster-wide so accuracy
+	// drift shows up as a moving p95 before Page-Hinkley fires.
+	qerrorHist obs.Histogram
 }
 
 // Registry is the concurrent estimator registry behind the HTTP API. Create
 // one with NewRegistry and stop it with Close, which flushes all pending
 // observations and persists a final snapshot.
 type Registry struct {
-	cfg Config
+	cfg   Config
+	start time.Time // process-local registry start, for telemetry uptime
 
 	mu         sync.RWMutex
 	estimators map[string]*estimatorState
@@ -338,6 +357,7 @@ func NewRegistry(cfg Config) (*Registry, error) {
 		wake:       make(chan struct{}, 1),
 		driftWake:  make(chan struct{}, 1),
 		done:       make(chan struct{}),
+		start:      time.Now(),
 	}
 	reg.log = obs.Component(reg.cfg.Logger, "registry")
 	reg.trainLog = obs.Component(reg.cfg.Logger, "trainer")
@@ -719,6 +739,7 @@ func (r *Registry) ObserveParsed(name string, recs []ParsedObservation) (estimat
 			if st.tracker.Add(estimates[i], rec.Sel) {
 				drifted = true
 			}
+			st.qerrorHist.ObserveValue(lifecycle.QError(estimates[i], rec.Sel))
 		}
 	}
 	room := r.cfg.BufferSize - len(st.pending)
@@ -1301,11 +1322,19 @@ type EstimatorInfo struct {
 	ObserveP50  float64 `json:"observe_p50_seconds"`
 	ObserveP95  float64 `json:"observe_p95_seconds"`
 	ObserveP99  float64 `json:"observe_p99_seconds"`
+
+	// Realized q-error percentiles over every prequential sample since
+	// creation (dimensionless; 0 until feedback has arrived) — the
+	// distribution the window mean above summarizes.
+	QErrorP50 float64 `json:"qerror_p50"`
+	QErrorP95 float64 `json:"qerror_p95"`
+	QErrorP99 float64 `json:"qerror_p99"`
 }
 
 func (r *Registry) info(st *estimatorState) EstimatorInfo {
 	est := st.estimateHist.Snapshot()
 	obsn := st.observeHist.Snapshot()
+	qerr := st.qerrorHist.Snapshot()
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	track := st.tracker.Report()
@@ -1339,6 +1368,9 @@ func (r *Registry) info(st *estimatorState) EstimatorInfo {
 		ObserveP50:    obsn.Quantile(0.50).Seconds(),
 		ObserveP95:    obsn.Quantile(0.95).Seconds(),
 		ObserveP99:    obsn.Quantile(0.99).Seconds(),
+		QErrorP50:     qerr.ValueQuantile(0.50),
+		QErrorP95:     qerr.ValueQuantile(0.95),
+		QErrorP99:     qerr.ValueQuantile(0.99),
 	}
 }
 
